@@ -1,0 +1,56 @@
+// Command cmfsck checks the consistency of a volume image produced by
+// mkcmfs (or by any run that saved a disk image): it walks the directory
+// tree, resolves every inode's block tree, and cross-checks the allocation
+// bitmaps — the four invariants ufs.Check documents. Exit status 1 means
+// problems were found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfsck: ")
+	img := flag.String("disk", "cm.img", "disk image to check")
+	flag.Parse()
+
+	f, err := os.Open(*img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.NewEngine(0)
+	d, err := disk.LoadImage(eng, "sd0", f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var report *ufs.CheckReport
+	eng.Spawn("fsck", func(p *sim.Proc) {
+		fs, err := ufs.Mount(p, d, ufs.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = fs.Check(p)
+	})
+	eng.Run()
+
+	fmt.Printf("%s: %d files, %d directories, %d blocks used, %d free\n",
+		*img, report.Files, report.Dirs, report.UsedBlocks, report.FreeBlocks)
+	if report.OK() {
+		fmt.Println("clean")
+		return
+	}
+	for _, p := range report.Problems {
+		fmt.Printf("PROBLEM: %s\n", p)
+	}
+	os.Exit(1)
+}

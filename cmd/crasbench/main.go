@@ -1,0 +1,127 @@
+// Command crasbench regenerates the paper's evaluation: every table and
+// figure of Section 3, plus the Section 3.2 problem demonstrations and the
+// constant-rate recording extension. Results print as plain-text tables
+// whose rows correspond to the paper's plotted series.
+//
+// Usage:
+//
+//	crasbench -all                # everything (several minutes of CPU)
+//	crasbench -fig 6              # one figure (6, 7, 8, 9, 10, 12)
+//	crasbench -table 4            # Table 4
+//	crasbench -extra vbr          # vbr | frag | record | delaysweep
+//	crasbench -fig 6 -quick       # smaller sweeps for a fast look
+//	crasbench -fig 6 -delay 3s    # the Section 3.1 longer-initial-delay run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9, 10, 12)")
+		table    = flag.Int("table", 0, "table to regenerate (4)")
+		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "smaller sweeps and shorter runs")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		duration = flag.Duration("duration", 0, "override run duration (0 = experiment default)")
+		delay    = flag.Duration("delay", time.Second, "initial delay for figure 6")
+	)
+	flag.Parse()
+
+	ran := false
+	if *all || *fig == 6 {
+		runFig6(*seed, *quick, *duration, *delay)
+		ran = true
+	}
+	if *all || *fig == 7 {
+		cfg := expt.Fig7Config{Seed: *seed, Duration: *duration}
+		if *quick && *duration == 0 {
+			cfg.Duration = 12 * time.Second
+		}
+		fmt.Println(expt.RunFig7(cfg).Table())
+		ran = true
+	}
+	if *all || *fig == 8 {
+		runAccuracy(expt.Fig8Config(), *seed, *quick, *duration)
+		ran = true
+	}
+	if *all || *fig == 9 {
+		runAccuracy(expt.Fig9Config(), *seed, *quick, *duration)
+		ran = true
+	}
+	if *all || *fig == 10 {
+		cfg := expt.Fig10Config{Seed: *seed, Duration: *duration}
+		if *quick && *duration == 0 {
+			cfg.Duration = 10 * time.Second
+		}
+		fmt.Println(expt.RunFig10(cfg).Table())
+		ran = true
+	}
+	if *all || *fig == 12 {
+		fmt.Println(expt.RunFig12(*seed).Table())
+		ran = true
+	}
+	if *all || *table == 4 {
+		fmt.Println(expt.RunTable4(*seed).Table())
+		ran = true
+	}
+	if *all || *extra == "vbr" {
+		fmt.Println(expt.RunVBR(*seed, *duration).Table())
+		ran = true
+	}
+	if *all || *extra == "frag" {
+		fmt.Println(expt.RunFragmentation(*seed, 0, *duration).Table())
+		ran = true
+	}
+	if *all || *extra == "record" {
+		fmt.Println(expt.RunRecord(*seed, 0, *duration).Table())
+		ran = true
+	}
+	if *all || *extra == "delaysweep" {
+		fmt.Println(expt.RunDelaySweep(*seed, 0, *duration, nil).Table())
+		ran = true
+	}
+	if *all || *extra == "interval" {
+		fmt.Println(expt.RunIntervalSweep(*seed, nil, *duration).Table())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFig6(seed int64, quick bool, duration, delay time.Duration) {
+	cfg := expt.Fig6Config{Seed: seed, Duration: duration, InitialDelay: delay}
+	if quick {
+		cfg.StreamCounts = []int{1, 5, 9, 13, 17, 21, 25}
+		if duration == 0 {
+			cfg.Duration = 15 * time.Second
+		}
+	}
+	res := expt.RunFig6(cfg)
+	fmt.Println(res.Table())
+	fmt.Printf("peak CRAS throughput: %.0f%% of the disk rate (paper: 55%% at 1s delay, 70%% at 3s)\n\n",
+		100*res.PeakCRASFraction())
+}
+
+func runAccuracy(cfg expt.AccuracyConfig, seed int64, quick bool, duration time.Duration) {
+	cfg.Seed = seed
+	cfg.Duration = duration
+	if quick {
+		if len(cfg.StreamCounts) > 5 {
+			cfg.StreamCounts = []int{1, 4, 8, 14, 20}
+		}
+		if duration == 0 {
+			cfg.Duration = 12 * time.Second
+		}
+	}
+	fmt.Println(expt.RunAccuracy(cfg).Table())
+}

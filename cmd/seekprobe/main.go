@@ -1,0 +1,21 @@
+// Command seekprobe measures the simulated disk the way the paper's
+// microbenchmarks measured the ST32550N: the seek curve across the stroke
+// with its linear approximation (Figure 12) and the derived parameter set
+// (Table 4). This is the calibration step whose outputs feed the CRAS
+// admission test.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	fmt.Println(expt.RunFig12(*seed).Table())
+	fmt.Println(expt.RunTable4(*seed).Table())
+}

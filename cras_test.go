@@ -1,0 +1,92 @@
+package cras_test
+
+import (
+	"testing"
+	"time"
+
+	cras "repro"
+)
+
+// The facade must be sufficient to run the full system without touching
+// internal packages — this is the same path examples/quickstart takes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	movie := cras.MPEG1().Generate("/clip", 4*time.Second)
+	var stats cras.PlayerStats
+	m := cras.BuildLab(cras.LabSetup{
+		Seed:          1,
+		DiskCylinders: 600,
+		Movies:        []cras.LabMovie{{Path: "/clip", Info: movie}},
+	}, func(m *cras.Lab) {
+		cras.CRASPlayer(m.Kernel, m.CRAS, movie, "/clip",
+			cras.OpenOptions{}, cras.PlayerConfig{}, &stats)
+	})
+	m.Run(10 * time.Second)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Done || stats.Lost != 0 || stats.Obtained != 120 {
+		t.Fatalf("playback through the facade: %+v", stats)
+	}
+	if s := cras.Summarize(stats.Delays.Values()); s.Max > 0.02 {
+		t.Fatalf("max delay %.3fs", s.Max)
+	}
+}
+
+// The session API surface (crs_* calls) through the facade.
+func TestPublicAPISessionControls(t *testing.T) {
+	movie := cras.MPEG1().Generate("/clip", 30*time.Second)
+	m := cras.BuildLab(cras.LabSetup{
+		Seed:          2,
+		DiskCylinders: 900,
+		Movies:        []cras.LabMovie{{Path: "/clip", Info: movie}},
+		CRAS:          cras.Config{BufferBudget: 32 << 20},
+	}, func(m *cras.Lab) {
+		m.App("app", cras.PrioRTLow, 0, func(th *cras.Thread) {
+			h, err := m.CRAS.Open(th, movie, "/clip", cras.OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			if err := h.Start(th); err != nil {
+				t.Errorf("Start: %v", err)
+			}
+			th.Sleep(2 * time.Second)
+			if h.LogicalNow() <= 0 {
+				t.Error("clock not advancing")
+			}
+			if err := h.Stop(th); err != nil {
+				t.Errorf("Stop: %v", err)
+			}
+			if err := h.Seek(th, 20*time.Second); err != nil {
+				t.Errorf("Seek: %v", err)
+			}
+			if err := h.SetRate(th, 2.0); err != nil {
+				t.Errorf("SetRate: %v", err)
+			}
+			if err := h.Close(th); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	})
+	m.Run(10 * time.Second)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Admission types are usable from the facade for capacity planning without
+// running a simulation.
+func TestPublicAPIAdmissionPlanning(t *testing.T) {
+	eng := cras.NewEngine(1)
+	g, p := cras.ST32550N()
+	d := cras.NewDisk(eng, "sd0", g, p)
+	params := cras.MeasureAdmissionParams(d, 64<<10)
+	sp := cras.StreamParams{Rate: 187500, Chunk: 6250}
+	n := params.MaxStreams(500*time.Millisecond, 1<<30, sp)
+	if n < 12 || n > 17 {
+		t.Fatalf("planned capacity = %d", n)
+	}
+	if cras.MediaRate(g, p) < 6e6 {
+		t.Fatal("media rate off")
+	}
+}

@@ -1,0 +1,19 @@
+// Package cras is the public surface of this repository: a reproduction of
+// "Simple Continuous Media Storage Server on Real-Time Mach" (Tezuka &
+// Nakajima, USENIX 1996).
+//
+// It re-exports, under one import path, everything a user needs to build
+// and drive a simulated continuous-media machine:
+//
+//   - the CRAS server itself (Server, Handle, Config, the admission test),
+//   - the substrates it runs on: the deterministic simulation engine, the
+//     Real-Time Mach scheduling model, the ST32550N-class disk, and the
+//     FFS-like Unix file system whose layout CRAS shares,
+//   - media stream modeling (chunk tables, CBR/VBR profiles, control
+//     files) and the workload actors used in the paper's evaluation,
+//   - the Lab assembly helper that boots a complete machine.
+//
+// See the runnable programs in examples/ for end-to-end usage, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package cras

@@ -1,0 +1,65 @@
+package cras_test
+
+import (
+	"fmt"
+	"time"
+
+	cras "repro"
+)
+
+// The shortest complete program: boot a machine with one movie and play it
+// through CRAS at its natural rate.
+func Example() {
+	movie := cras.MPEG1().Generate("/clip", 2*time.Second)
+	var stats cras.PlayerStats
+	m := cras.BuildLab(cras.LabSetup{
+		Seed:          1,
+		DiskCylinders: 600,
+		Movies:        []cras.LabMovie{{Path: "/clip", Info: movie}},
+	}, func(m *cras.Lab) {
+		cras.CRASPlayer(m.Kernel, m.CRAS, movie, "/clip",
+			cras.OpenOptions{}, cras.PlayerConfig{}, &stats)
+	})
+	m.Run(6 * time.Second)
+	fmt.Printf("%d/%d frames on time\n", stats.Obtained, stats.Frames)
+	// Output: 60/60 frames on time
+}
+
+// The session interface of Table 2: open a stream, start its logical
+// clock, fetch a chunk from the shared buffer with no server round trip.
+func ExampleHandle() {
+	movie := cras.MPEG1().Generate("/clip", 5*time.Second)
+	m := cras.BuildLab(cras.LabSetup{
+		Seed:          2,
+		DiskCylinders: 600,
+		Movies:        []cras.LabMovie{{Path: "/clip", Info: movie}},
+	}, func(m *cras.Lab) {
+		m.App("app", cras.PrioRTLow, 0, func(th *cras.Thread) {
+			h, err := m.CRAS.Open(th, movie, "/clip", cras.OpenOptions{}) // crs_open
+			if err != nil {
+				fmt.Println("open:", err)
+				return
+			}
+			h.Start(th)                                          // crs_start
+			th.Sleep(m.CRAS.Config().InitialDelay + time.Second) // let the pipeline fill
+			if chunk, ok := h.Get(h.LogicalNow()); ok {          // crs_get
+				fmt.Printf("a %d-byte chunk is current\n", chunk.Size)
+			}
+			h.Close(th) // crs_close
+		})
+	})
+	m.Run(5 * time.Second)
+	// Output: a 6250-byte chunk is current
+}
+
+// Capacity planning with the admission test, offline — no simulation run
+// needed: how many MPEG1 streams does the paper's disk admit at T = 0.5 s?
+func ExampleAdmissionParams() {
+	eng := cras.NewEngine(1)
+	geo, par := cras.ST32550N()
+	d := cras.NewDisk(eng, "sd0", geo, par)
+	params := cras.MeasureAdmissionParams(d, 64<<10)
+	mpeg1 := cras.StreamParams{Rate: 1.5e6 / 8, Chunk: 6250}
+	fmt.Println(params.MaxStreams(500*time.Millisecond, 1<<30, mpeg1))
+	// Output: 14
+}

@@ -1,0 +1,88 @@
+// Editing and fragmentation: the third problem of Section 3.2. CRAS
+// inherits the Unix file system's layout, so a media file assembled by an
+// editor (whose writes interleave with other files) ends up with its
+// blocks scattered. The extent map shrinks, CRAS needs many small reads
+// instead of few 256 KB ones, and throughput headroom evaporates — the
+// paper's argument for rearranging edited media files.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cras "repro"
+)
+
+func main() {
+	const seconds = 20
+	clip := cras.MPEG1().Generate("/pristine", seconds*time.Second)
+	edited := cras.MPEG1().Generate("/edited", seconds*time.Second)
+
+	machine := cras.BuildLab(cras.LabSetup{
+		Seed: 11,
+		// The pristine clip is laid out contiguously by the lab setup.
+		Movies: []cras.LabMovie{{Path: "/pristine", Info: clip}},
+	}, func(m *cras.Lab) {
+		m.App("editor-then-player", cras.PrioRTLow, 0, func(th *cras.Thread) {
+			c := cras.NewUnixClient(m.Unix, th)
+
+			// "Edit" a movie: write it in pieces, interleaved with another
+			// growing file, the way a cut-and-paste editing session does.
+			// Every alternate allocation goes to the scratch file, so the
+			// edited movie's blocks end up scattered.
+			edFd, err := c.Create("/edited")
+			if err != nil {
+				panic(err)
+			}
+			scratchFd, err := c.Create("/scratch")
+			if err != nil {
+				panic(err)
+			}
+			piece := make([]byte, 8192)
+			for i := range piece {
+				piece[i] = 0x42
+			}
+			total := edited.TotalSize()
+			for off := int64(0); off < total; off += int64(len(piece)) {
+				if _, err := c.Write(edFd, off, piece); err != nil {
+					panic(err)
+				}
+				if _, err := c.Write(scratchFd, off, piece); err != nil {
+					panic(err)
+				}
+			}
+			// Control track for the edited movie.
+			ctlFd, err := c.Create("/edited.ctl")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := c.Write(ctlFd, 0, cras.EncodeControl(edited)); err != nil {
+				panic(err)
+			}
+			c.Sync()
+
+			// Play both through CRAS and compare what the layouts did.
+			for _, tc := range []struct {
+				name string
+				info *cras.StreamInfo
+			}{{"/pristine", clip}, {"/edited", edited}} {
+				h, err := m.CRAS.Open(th, tc.info, tc.name, cras.OpenOptions{})
+				if err != nil {
+					panic(err)
+				}
+				ext := h.ExtentMap()
+				h.Start(th)
+				th.Sleep(m.CRAS.Config().InitialDelay + cras.Time(seconds+1)*time.Second)
+				st := h.StreamStats()
+				fmt.Printf("%-10s %4d extents, avg run %3d KB -> %4d reads, %4d chunks on time, %3d late\n",
+					tc.name, len(ext.Extents), ext.AverageRunBytes()/1024,
+					st.ReadsIssued, st.ChunksStamped-st.ChunksLate, st.ChunksLate)
+				h.Close(th)
+			}
+		})
+	})
+	machine.Run(2 * time.Minute)
+	if err := machine.Err(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Dynamic QoS control: the property the time-driven shared memory buffer
+// exists for (Section 2.4 and the QtPlay experience in Section 3.2). The
+// application changes its own consumption — dropping to 10 fps, pausing,
+// seeking, then switching the retrieval to 2x for the paper's
+// "fast-forward retrieves everything" case — while the server keeps
+// retrieving at a constant rate. No feedback protocol, no buffer overflow:
+// obsolete frames are discarded by their timestamps.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cras "repro"
+)
+
+func main() {
+	movie := cras.MPEG1().Generate("/clip", 60*time.Second)
+
+	machine := cras.BuildLab(cras.LabSetup{
+		Seed:   3,
+		Movies: []cras.LabMovie{{Path: "/clip", Info: movie}},
+		CRAS:   cras.Config{BufferBudget: 32 << 20},
+	}, func(m *cras.Lab) {
+		m.App("qos-player", cras.PrioRTLow, 0, func(th *cras.Thread) {
+			h, err := m.CRAS.Open(th, movie, "/clip", cras.OpenOptions{})
+			if err != nil {
+				panic(err)
+			}
+			h.Start(th)
+
+			phase := func(name string, fps int, frames int) {
+				got, missed := 0, 0
+				interval := cras.Time(time.Second) / cras.Time(fps)
+				for i := 0; i < frames; i++ {
+					// Sample the stream at our own rate: ask the shared
+					// buffer for the frame that is current *now* on the
+					// stream's clock. crs_get — no server round trip.
+					if _, ok := h.Get(h.LogicalNow()); ok {
+						got++
+					} else {
+						missed++
+					}
+					th.Sleep(interval)
+				}
+				buf := h.BufferStats()
+				fmt.Printf("%-28s got %3d/%3d frames  (buffer: %3d KB resident, %d discarded unread, overflows %d)\n",
+					name, got, got+missed, buf.Bytes()/1024, buf.LateDiscard, buf.Overflowed)
+			}
+
+			// Wait out the initial delay, then consume at full rate.
+			th.Sleep(m.CRAS.Config().InitialDelay + 50*time.Millisecond)
+			phase("30 fps (full rate)", 30, 90)
+
+			// Drop to 10 fps: every third frame; the server is not told.
+			phase("10 fps (QoS degraded)", 10, 30)
+
+			// Pause: crs_stop freezes the clock and pre-fetching.
+			h.Stop(th)
+			th.Sleep(2 * time.Second)
+			fmt.Printf("%-28s clock frozen at %v\n", "paused 2s (crs_stop)", h.LogicalNow().Round(time.Millisecond))
+			h.Start(th)
+			th.Sleep(m.CRAS.Config().InitialDelay + 50*time.Millisecond)
+			phase("resumed at 30 fps", 30, 60)
+
+			// Seek to the 40-second mark: stop, reposition, restart — the
+			// remote-control pattern, which gives the pipeline its initial
+			// delay to refill at the new position.
+			h.Stop(th)
+			if err := h.Seek(th, 40*time.Second); err != nil {
+				panic(err)
+			}
+			h.Start(th)
+			th.Sleep(m.CRAS.Config().InitialDelay + 50*time.Millisecond)
+			fmt.Printf("%-28s clock now at %v\n", "seek to 40s (crs_seek)", h.LogicalNow().Round(time.Millisecond))
+			phase("after seek, 30 fps", 30, 60)
+
+			// Fast-forward: retrieval itself doubles (readmission runs).
+			if err := h.SetRate(th, 2.0); err != nil {
+				panic(err)
+			}
+			phase("2x fast-forward (60 fps)", 60, 120)
+
+			h.Close(th)
+		})
+	})
+	machine.Run(3 * time.Minute)
+	if err := machine.Err(); err != nil {
+		panic(err)
+	}
+}

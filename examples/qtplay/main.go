@@ -1,0 +1,171 @@
+// QtPlay: the paper's Figure 11 application. Machine A (qtserver) retrieves
+// QuickTime-style movies — a video track and an audio track each — through
+// CRAS and transmits them over NPS's rate-reserved network channels;
+// machine B (qtclient) hands video to the X11 server and audio to the audio
+// server, here modeled as consumers that check arrival against the
+// presentation schedule. Two movies play simultaneously while a best-effort
+// bulk transfer hammers the same 10 Mb/s link; the reservations keep the
+// streams' arrival jitter bounded.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cras "repro"
+	"repro/internal/nps"
+)
+
+type frameTag struct {
+	movie string
+	kind  string // "video" or "audio"
+	index int
+	due   cras.Time
+}
+
+func main() {
+	const movies = 2
+	const seconds = 12
+
+	// Each movie is one QuickTime-style container file holding a video
+	// track and an audio track (44.1 kHz 16-bit stereo, chunked at the
+	// video frame rate).
+	var containers []*cras.Container
+	for i := 0; i < movies; i++ {
+		containers = append(containers, &cras.Container{
+			Name: fmt.Sprintf("/qt/movie%d", i),
+			Tracks: []cras.Track{
+				{Kind: "video", Info: cras.MPEG1().Generate("v", seconds*time.Second)},
+				{Kind: "audio", Info: cras.CBRProfile{FrameRate: 30, Rate: 176400}.Generate("a", seconds*time.Second)},
+			},
+		})
+	}
+
+	type sinkStats struct {
+		got   int
+		late  int
+		worst cras.Time
+	}
+	x11 := make([]*sinkStats, movies)
+	aud := make([]*sinkStats, movies)
+	for i := range x11 {
+		x11[i] = &sinkStats{}
+		aud[i] = &sinkStats{}
+	}
+
+	// Machine A: the lab machine (disk, UFS, CRAS) is qtserver.
+	machine := cras.BuildLab(cras.LabSetup{
+		Seed:       5,
+		Containers: containers,
+		CRAS:       cras.Config{BufferBudget: 64 << 20},
+	}, func(m *cras.Lab) {
+		eng := m.Eng
+		// Machine B: a second kernel on the same engine is qtclient.
+		client := cras.NewKernel(eng)
+		// The 10 Mb/s Ethernet between them.
+		net := nps.New(eng, "eth0", nps.Config{})
+
+		// Best-effort competition: an "ftp" moving bulk data.
+		ftpDst := client.NewPort("ftp-rx")
+		ftp, err := net.NewChannel("ftp", 0, ftpDst)
+		if err != nil {
+			panic(err)
+		}
+		client.NewThread("ftp-rx", cras.PrioTS, 0, func(th *cras.Thread) {
+			for {
+				ftpDst.Receive(th)
+			}
+		})
+		m.Kernel.NewThread("ftp-tx", cras.PrioTS, 0, func(th *cras.Thread) {
+			for {
+				if err := ftp.Send(th, 60_000, nil); err != nil {
+					return
+				}
+			}
+		})
+
+		for i := 0; i < movies; i++ {
+			i := i
+			// Client-side sinks: the X11 server and the audio server.
+			videoPort := client.NewPort(fmt.Sprintf("x11-%d", i))
+			audioPort := client.NewPort(fmt.Sprintf("audio-%d", i))
+			sink := func(port *cras.Port, st *sinkStats, name string) {
+				client.NewThread(name, cras.PrioRT, 0, func(th *cras.Thread) {
+					for {
+						p := port.Receive(th).(nps.Packet)
+						tag := p.Tag.(frameTag)
+						st.got++
+						// A frame is presentable if it arrives within one
+						// frame time of its presentation point.
+						lateBy := p.Arrived - tag.due
+						if lateBy > cras.Time(time.Second)/30 {
+							st.late++
+						}
+						if lateBy > st.worst {
+							st.worst = lateBy
+						}
+					}
+				})
+			}
+			sink(videoPort, x11[i], fmt.Sprintf("x11server-%d", i))
+			sink(audioPort, aud[i], fmt.Sprintf("audioserver-%d", i))
+
+			// Server-side: reserved channels sized to the track rates.
+			vch, err := net.NewChannel(fmt.Sprintf("video%d", i), 190e3, videoPort)
+			if err != nil {
+				panic(err)
+			}
+			ach, err := net.NewChannel(fmt.Sprintf("audio%d", i), 180e3, audioPort)
+			if err != nil {
+				panic(err)
+			}
+
+			// qtserver threads: retrieve via CRAS, transmit via NPS. Both
+			// tracks read from the same container file.
+			streamer := func(info *cras.StreamInfo, path string, ch *nps.Channel, kind string) {
+				m.Kernel.NewThread("qtserver-"+path+"-"+kind, cras.PrioRTLow, 0, func(th *cras.Thread) {
+					h, err := m.CRAS.Open(th, info, path, cras.OpenOptions{})
+					if err != nil {
+						panic(err)
+					}
+					h.Start(th)
+					for f := range info.Chunks {
+						c := info.Chunks[f]
+						due := h.ClockStartsAt(c.Timestamp)
+						if m.Kernel.Now() < due {
+							th.SleepUntil(due)
+						}
+						chunk, ok := h.Get(c.Timestamp)
+						if !ok {
+							continue
+						}
+						ch.Send(th, int(chunk.Size), frameTag{
+							movie: path, kind: kind, index: f,
+							// Presentation point: one frame after retrieval
+							// (the client's own delay budget).
+							due: due + c.Duration,
+						})
+					}
+					h.Close(th)
+				})
+			}
+			path := fmt.Sprintf("/qt/movie%d", i)
+			tracks := m.Tracks[path]
+			streamer(tracks[0], path, vch, "video")
+			streamer(tracks[1], path, ach, "audio")
+		}
+	})
+	machine.Run((seconds + 10) * time.Second)
+	if err := machine.Err(); err != nil {
+		panic(err)
+	}
+
+	for i := 0; i < movies; i++ {
+		fmt.Printf("movie %d: video %3d frames, %d late, worst slack-overrun %6.2f ms | audio %3d chunks, %d late, worst %6.2f ms\n",
+			i, x11[i].got, x11[i].late, float64(x11[i].worst)/1e6,
+			aud[i].got, aud[i].late, float64(aud[i].worst)/1e6)
+	}
+	st := machine.CRAS.Stats()
+	fmt.Printf("qtserver CRAS: %d reads, %d deadline misses; both movies + ftp shared one 10 Mb/s link\n",
+		st.ReadsIssued, st.IODeadlineMiss)
+}

@@ -1,0 +1,94 @@
+// VOD server: the paper's motivating small-scale scenario. A handful of
+// clients open movie sessions against one CRAS instance while two
+// background "cat" jobs hammer the same disk through the Unix file system.
+// Admission control turns away the sessions the disk cannot carry; the
+// admitted ones play with constant-rate guarantees, untouched by the
+// background traffic.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cras "repro"
+)
+
+func main() {
+	const wantClients = 9 // more than the admission test will allow at 6 Mb/s
+
+	// A small library: three MPEG2-class titles plus a bulk file for cats.
+	var movies []cras.LabMovie
+	var infos []*cras.StreamInfo
+	for i := 0; i < 3; i++ {
+		path := fmt.Sprintf("/library/title%d", i)
+		info := cras.MPEG2().Generate(path, 20*time.Second)
+		infos = append(infos, info)
+		movies = append(movies, cras.LabMovie{Path: path, Info: info})
+	}
+	bulk := cras.MPEG1().Generate("/library/bulk", 20*time.Second)
+	movies = append(movies, cras.LabMovie{Path: "/library/bulk", Info: bulk})
+
+	stats := make([]*cras.PlayerStats, wantClients)
+	rejected := make([]bool, wantClients)
+
+	machine := cras.BuildLab(cras.LabSetup{
+		Seed:   7,
+		Movies: movies,
+		CRAS:   cras.Config{BufferBudget: 64 << 20},
+	}, func(m *cras.Lab) {
+		// Competing, non-real-time disk traffic.
+		cras.BackgroundReader(m.Kernel, m.Unix, "/library/bulk", cras.PrioTS, 0)
+		cras.BackgroundReader(m.Kernel, m.Unix, "/library/bulk", cras.PrioTS, 0)
+
+		for c := 0; c < wantClients; c++ {
+			c := c
+			stats[c] = &cras.PlayerStats{}
+			title := c % len(infos)
+			path := fmt.Sprintf("/library/title%d", title)
+			m.App(fmt.Sprintf("client%d", c), cras.PrioRTLow, 0, func(th *cras.Thread) {
+				// Clients arrive over the first seconds, as users would.
+				th.Sleep(cras.Time(c) * 500 * time.Millisecond)
+				h, err := m.CRAS.Open(th, infos[title], path, cras.OpenOptions{})
+				if err != nil {
+					rejected[c] = true
+					stats[c].Done = true
+					fmt.Printf("t=%-6v client %d: REJECTED (%v)\n", m.Kernel.Now().Round(time.Millisecond), c, errShort(err))
+					return
+				}
+				fmt.Printf("t=%-6v client %d: admitted on %s\n", m.Kernel.Now().Round(time.Millisecond), c, path)
+				h.Close(th)
+				// Re-open through the player, which manages the session.
+				cras.CRASPlayer(m.Kernel, m.CRAS, infos[title], path,
+					cras.OpenOptions{}, cras.PlayerConfig{MaxFrames: 300}, stats[c])
+			})
+		}
+	})
+	machine.Run(40 * time.Second)
+	if err := machine.Err(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println()
+	admitted, lostTotal := 0, 0
+	for c, st := range stats {
+		if rejected[c] {
+			continue
+		}
+		admitted++
+		lostTotal += st.Lost
+		s := cras.Summarize(st.Delays.Values())
+		fmt.Printf("client %d: %d/%d frames, max delay %.2f ms\n", c, st.Obtained, st.Frames, 1000*s.Max)
+	}
+	srv := machine.CRAS.Stats()
+	fmt.Printf("\nadmitted %d of %d clients (%d rejected by the admission test)\n",
+		admitted, wantClients, srv.AdmissionRejects)
+	fmt.Printf("server moved %.1f MB in %d reads; %d I/O deadline misses; %d frames lost\n",
+		float64(srv.BytesRead)/1e6, srv.ReadsIssued, srv.IODeadlineMiss, lostTotal)
+}
+
+func errShort(err error) string {
+	if ae, ok := err.(*cras.AdmissionError); ok {
+		return ae.Reason
+	}
+	return err.Error()
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// AdmissionParams are the measured disk parameters of Table 4 that the
+// admission test consumes. Times follow the paper's symbols.
+type AdmissionParams struct {
+	D        float64  // disk transfer rate, bytes/second
+	TseekMax sim.Time // full-stroke seek (linear approximation at Ncyl)
+	TseekMin sim.Time // linear-approximation intercept
+	Trot     sim.Time // rotational latency (one revolution)
+	Tcmd     sim.Time // command overhead per operation
+	Bother   int64    // largest block of other (non-real-time) disk traffic
+}
+
+// StreamParams are the per-stream inputs to the admission test: the data
+// rate R_i (worst case over an interval window, which for CBR equals the
+// average) and the chunk size C_i (the largest single chunk, the slack term
+// in A_i = T*R_i + C_i).
+type StreamParams struct {
+	Rate  float64 // bytes/second
+	Chunk int64   // bytes
+}
+
+// MeasureAdmissionParams derives Table 4 from the disk, the way the authors
+// ran microbenchmarks against theirs: the transfer rate from the geometry's
+// media rate, rotational latency from the spindle speed, command overhead
+// from the controller, and the seek parameters from a least-squares linear
+// fit of the measured seek curve (Figure 12's "Approx." line).
+func MeasureAdmissionParams(d *disk.Disk, bother int64) AdmissionParams {
+	g, p := d.Geometry(), d.Params()
+	alpha, beta := fitSeekCurve(d)
+	return AdmissionParams{
+		D:        disk.MediaRate(g, p),
+		TseekMin: sim.Time(beta * float64(time.Second)),
+		TseekMax: sim.Time((beta + alpha*float64(g.Cylinders)) * float64(time.Second)),
+		Trot:     p.RotTime,
+		Tcmd:     p.CmdOverhead,
+		Bother:   bother,
+	}
+}
+
+// fitSeekCurve samples the seek curve across the stroke and returns the
+// least-squares line seconds(x) = alpha*x + beta.
+func fitSeekCurve(d *disk.Disk) (alpha, beta float64) {
+	ncyl := d.Geometry().Cylinders
+	step := ncyl / 64
+	if step < 1 {
+		step = 1
+	}
+	var n, sx, sy, sxx, sxy float64
+	for x := 1; x < ncyl; x += step {
+		y := d.ProbeSeek(0, x).Seconds()
+		fx := float64(x)
+		n++
+		sx += fx
+		sy += y
+		sxx += fx * fx
+		sxy += fx * y
+	}
+	alpha = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	beta = (sy - alpha*sx) / n
+	if beta < 0 {
+		beta = 0
+	}
+	return alpha, beta
+}
+
+// OtherOverhead is O_other, formula (9): the worst-case delay one
+// non-real-time request already in service imposes on the batch.
+func (a AdmissionParams) OtherOverhead() sim.Time {
+	return a.Tcmd + a.TseekMax + a.Trot + sim.Time(float64(a.Bother)/a.D*float64(time.Second))
+}
+
+// SeekOverhead is O_seek, formulas (11)-(12): the C-SCAN bound on total
+// seek time for N streams sorted in cylinder order, assuming the worst-case
+// full-stroke spread.
+func (a AdmissionParams) SeekOverhead(n int) sim.Time {
+	switch {
+	case n <= 0:
+		return 0
+	case n == 1:
+		return a.TseekMax
+	default:
+		return 2*a.TseekMax + sim.Time(n-2)*a.TseekMin
+	}
+}
+
+// TotalOverhead is O_total, formulas (14)-(15): O_other + O_seek + O_rot +
+// O_cmd for n streams.
+func (a AdmissionParams) TotalOverhead(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return a.OtherOverhead() + a.SeekOverhead(n) + sim.Time(n)*a.Trot + sim.Time(n)*a.Tcmd
+}
+
+// RequiredInterval is formula (1) solved for the minimum interval time:
+// T >= (O_total*D + C_total) / (D - R_total). It returns an error when the
+// aggregate rate meets or exceeds the disk rate (no interval suffices).
+func (a AdmissionParams) RequiredInterval(streams []StreamParams) (sim.Time, error) {
+	n := len(streams)
+	if n == 0 {
+		return 0, nil
+	}
+	var rTotal float64
+	var cTotal int64
+	for _, s := range streams {
+		rTotal += s.Rate
+		cTotal += s.Chunk
+	}
+	if rTotal >= a.D {
+		return 0, fmt.Errorf("core: aggregate rate %.0f B/s >= disk rate %.0f B/s", rTotal, a.D)
+	}
+	oTotal := a.TotalOverhead(n).Seconds()
+	t := (oTotal*a.D + float64(cTotal)) / (a.D - rTotal)
+	return sim.Time(t * float64(time.Second)), nil
+}
+
+// BufferPerStream is B_i, formula (7): 2*(T*R_i + C_i) — double-buffering
+// one interval's worth of data.
+func BufferPerStream(t sim.Time, s StreamParams) int64 {
+	return 2 * (int64(t.Seconds()*s.Rate) + s.Chunk)
+}
+
+// TotalBuffer is B_total, formula (8).
+func TotalBuffer(t sim.Time, streams []StreamParams) int64 {
+	var total int64
+	for _, s := range streams {
+		total += BufferPerStream(t, s)
+	}
+	return total
+}
+
+// AdmissionError reports why a stream was rejected.
+type AdmissionError struct {
+	NeedInterval sim.Time // minimum interval the set would require (0 if rate infeasible at any T)
+	Interval     sim.Time // the server's configured interval
+	NeedBuffer   int64
+	Budget       int64
+	Reason       string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("cras: admission failed: %s (need T>=%v have %v; need %d buffer bytes have %d)",
+		e.Reason, e.NeedInterval, e.Interval, e.NeedBuffer, e.Budget)
+}
+
+// Admit runs the paper's admission test for the full stream set (existing
+// plus candidate) against a configured interval time and buffer budget.
+func (a AdmissionParams) Admit(t sim.Time, budget int64, streams []StreamParams) error {
+	need, err := a.RequiredInterval(streams)
+	if err != nil {
+		return &AdmissionError{Interval: t, NeedBuffer: TotalBuffer(t, streams), Budget: budget, Reason: err.Error()}
+	}
+	buf := TotalBuffer(t, streams)
+	if need > t {
+		return &AdmissionError{NeedInterval: need, Interval: t, NeedBuffer: buf, Budget: budget,
+			Reason: "interval time too short for stream set"}
+	}
+	if buf > budget {
+		return &AdmissionError{NeedInterval: need, Interval: t, NeedBuffer: buf, Budget: budget,
+			Reason: "buffer memory exhausted"}
+	}
+	return nil
+}
+
+// CalculatedIOTime is the admission model's estimate of the disk time one
+// interval's batch needs: O_total(N) + bytes/D. Figures 8 and 9 compare
+// the actual per-interval disk time against this value.
+func (a AdmissionParams) CalculatedIOTime(n int, bytes int64) sim.Time {
+	return a.TotalOverhead(n) + sim.Time(float64(bytes)/a.D*float64(time.Second))
+}
+
+// MaxStreams returns how many identical streams the configuration admits —
+// the capacity curves quoted in the evaluation (e.g. >25 MPEG1 streams at a
+// 3 s initial delay).
+func (a AdmissionParams) MaxStreams(t sim.Time, budget int64, s StreamParams) int {
+	var set []StreamParams
+	for {
+		set = append(set, s)
+		if a.Admit(t, budget, set) != nil {
+			return len(set) - 1
+		}
+		if len(set) > 10000 {
+			return len(set)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// table4 returns admission parameters set directly to the paper's Table 4,
+// for testing the formulas against hand-computed values.
+func botherTime() sim.Time {
+	v := float64(64<<10) / 6.5e6 * float64(time.Second)
+	return sim.Time(v)
+}
+
+func table4() AdmissionParams {
+	return AdmissionParams{
+		D:        6.5e6,
+		TseekMax: 17 * time.Millisecond,
+		TseekMin: 4 * time.Millisecond,
+		Trot:     8330 * time.Microsecond,
+		Tcmd:     2 * time.Millisecond,
+		Bother:   64 << 10,
+	}
+}
+
+func mpeg1Params() StreamParams { return StreamParams{Rate: 1.5e6 / 8, Chunk: 6250} }
+func mpeg2Params() StreamParams { return StreamParams{Rate: 6e6 / 8, Chunk: 25000} }
+
+func approxDur(t *testing.T, got, want sim.Time, tol time.Duration, what string) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Fatalf("%s = %v, want %v (+/- %v)", what, got, want, tol)
+	}
+}
+
+func TestOtherOverheadFormula9(t *testing.T) {
+	a := table4()
+	// O_other = Tcmd + Tseek_max + Trot + Bother/D
+	//         = 2 + 17 + 8.33 + 65536/6.5e6 s (~10.08 ms)
+	want := 2*time.Millisecond + 17*time.Millisecond + 8330*time.Microsecond +
+		botherTime()
+	approxDur(t, a.OtherOverhead(), want, time.Microsecond, "O_other")
+}
+
+func TestSeekOverheadFormulas11And12(t *testing.T) {
+	a := table4()
+	if a.SeekOverhead(0) != 0 {
+		t.Fatal("O_seek(0) should be 0")
+	}
+	if a.SeekOverhead(1) != 17*time.Millisecond {
+		t.Fatalf("O_seek(1) = %v, want Tseek_max", a.SeekOverhead(1))
+	}
+	// O_seek(N) = 2*Tseek_max + (N-2)*Tseek_min
+	if got, want := a.SeekOverhead(5), 2*17*time.Millisecond+3*4*time.Millisecond; got != want {
+		t.Fatalf("O_seek(5) = %v, want %v", got, want)
+	}
+	if got, want := a.SeekOverhead(2), 2*17*time.Millisecond; got != want {
+		t.Fatalf("O_seek(2) = %v, want %v", got, want)
+	}
+}
+
+func TestTotalOverheadFormulas14And15(t *testing.T) {
+	a := table4()
+	// O_total(1) = Bother/D + 2*(Tseek_max + Trot + Tcmd)
+	want1 := botherTime() +
+		2*(17*time.Millisecond+8330*time.Microsecond+2*time.Millisecond)
+	approxDur(t, a.TotalOverhead(1), want1, time.Microsecond, "O_total(1)")
+
+	// O_total(N) = Bother/D + 3*Tseek_max + (N-2)*Tseek_min + (N+1)*(Trot+Tcmd)
+	n := 7
+	wantN := botherTime() +
+		3*17*time.Millisecond + sim.Time(n-2)*4*time.Millisecond +
+		sim.Time(n+1)*(8330*time.Microsecond+2*time.Millisecond)
+	approxDur(t, a.TotalOverhead(n), wantN, time.Microsecond, "O_total(7)")
+}
+
+func TestRequiredIntervalMatchesFormula1(t *testing.T) {
+	a := table4()
+	streams := []StreamParams{mpeg1Params(), mpeg1Params(), mpeg1Params()}
+	got, err := a.RequiredInterval(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T >= (O_total*D + C_total) / (D - R_total), computed by hand.
+	oTotal := a.TotalOverhead(3).Seconds()
+	want := (oTotal*6.5e6 + 3*6250) / (6.5e6 - 3*187500)
+	approxDur(t, got, sim.Time(want*float64(time.Second)), 10*time.Microsecond, "required interval")
+}
+
+func TestRequiredIntervalRejectsOversubscribedRate(t *testing.T) {
+	a := table4()
+	var streams []StreamParams
+	for i := 0; i < 40; i++ { // 40 * 187.5 KB/s = 7.5 MB/s > 6.5 MB/s
+		streams = append(streams, mpeg1Params())
+	}
+	if _, err := a.RequiredInterval(streams); err == nil {
+		t.Fatal("aggregate rate above disk rate accepted")
+	}
+}
+
+func TestBufferFormulas(t *testing.T) {
+	tI := 500 * time.Millisecond
+	s := mpeg1Params()
+	// B_i = 2*(T*R_i + C_i) = 2*(93750 + 6250) = 200000
+	if got := BufferPerStream(tI, s); got != 200000 {
+		t.Fatalf("B_i = %d, want 200000", got)
+	}
+	if got := TotalBuffer(tI, []StreamParams{s, s, s}); got != 600000 {
+		t.Fatalf("B_total = %d, want 600000", got)
+	}
+}
+
+func TestAdmitBoundaries(t *testing.T) {
+	a := table4()
+	tI := 500 * time.Millisecond
+
+	// A modest set passes with a generous budget.
+	set := []StreamParams{mpeg1Params(), mpeg1Params()}
+	if err := a.Admit(tI, 64<<20, set); err != nil {
+		t.Fatalf("2 streams rejected: %v", err)
+	}
+
+	// Buffer budget rejection: need 400000 bytes for 2 streams.
+	err := a.Admit(tI, 300000, set)
+	ae, ok := err.(*AdmissionError)
+	if !ok {
+		t.Fatalf("expected AdmissionError, got %v", err)
+	}
+	if ae.NeedBuffer != 400000 || ae.Budget != 300000 {
+		t.Fatalf("admission error fields: %+v", ae)
+	}
+	if ae.Error() == "" {
+		t.Fatal("empty error string")
+	}
+
+	// Interval rejection: stuff in streams until T=0.5s is too short.
+	var big []StreamParams
+	for i := 0; i < 20; i++ {
+		big = append(big, mpeg1Params())
+	}
+	if err := a.Admit(tI, 1<<30, big); err == nil {
+		t.Fatal("20 MPEG1 streams admitted at T=0.5s; the paper's test is more pessimistic than that")
+	}
+}
+
+// The paper-scale capacity check: at T=0.5s the admission test should admit
+// roughly 14-15 MPEG1 streams (pessimistic vs the ~19 the disk really
+// sustains) and about 5 MPEG2 streams (Figure 9 sweeps 1-5).
+func TestMaxStreamsPaperScale(t *testing.T) {
+	a := table4()
+	tI := 500 * time.Millisecond
+	n1 := a.MaxStreams(tI, 1<<30, mpeg1Params())
+	if n1 < 12 || n1 > 17 {
+		t.Fatalf("MaxStreams(MPEG1) = %d, want ~14", n1)
+	}
+	n2 := a.MaxStreams(tI, 1<<30, mpeg2Params())
+	if n2 < 4 || n2 > 7 {
+		t.Fatalf("MaxStreams(MPEG2) = %d, want ~5", n2)
+	}
+	if a.MaxStreams(tI, 100000, mpeg1Params()) >= n1 {
+		t.Fatal("a tiny buffer budget should reduce capacity")
+	}
+}
+
+func TestMeasureAdmissionParamsAgainstTable4(t *testing.T) {
+	e := sim.NewEngine(1)
+	g, p := disk.ST32550N()
+	d := disk.New(e, "sd0", g, p)
+	a := MeasureAdmissionParams(d, 64<<10)
+	if a.D < 6.3e6 || a.D > 6.7e6 {
+		t.Fatalf("measured D = %.2f MB/s, want ~6.5", a.D/1e6)
+	}
+	if a.TseekMin < 2*time.Millisecond || a.TseekMin > 6*time.Millisecond {
+		t.Fatalf("measured Tseek_min = %v, want ~4ms", a.TseekMin)
+	}
+	if a.TseekMax < 15*time.Millisecond || a.TseekMax > 19*time.Millisecond {
+		t.Fatalf("measured Tseek_max = %v, want ~17ms", a.TseekMax)
+	}
+	if a.Trot != p.RotTime || a.Tcmd != p.CmdOverhead {
+		t.Fatal("rotation/command parameters not taken from the mechanism")
+	}
+	if a.Bother != 64<<10 {
+		t.Fatal("Bother not recorded")
+	}
+}
+
+func TestCalculatedIOTime(t *testing.T) {
+	a := table4()
+	got := a.CalculatedIOTime(3, 650000)
+	want := a.TotalOverhead(3) + sim.Time(0.1*float64(time.Second))
+	approxDur(t, got, want, time.Microsecond, "calculated I/O time")
+}
+
+// Property: RequiredInterval grows with both stream count and per-stream
+// rate, and admitted sets remain admitted when a stream is removed.
+func TestPropertyAdmissionMonotonic(t *testing.T) {
+	a := table4()
+	f := func(n uint8, rateRaw uint32) bool {
+		count := int(n%10) + 1
+		rate := 50000 + float64(rateRaw%100000)
+		mk := func(c int, r float64) []StreamParams {
+			set := make([]StreamParams, c)
+			for i := range set {
+				set[i] = StreamParams{Rate: r, Chunk: 8192}
+			}
+			return set
+		}
+		t1, err1 := a.RequiredInterval(mk(count, rate))
+		t2, err2 := a.RequiredInterval(mk(count+1, rate))
+		if err1 != nil || err2 != nil {
+			return true // oversubscribed; nothing to compare
+		}
+		if t2 < t1 {
+			return false
+		}
+		t3, err3 := a.RequiredInterval(mk(count, rate*1.5))
+		if err3 != nil {
+			return true
+		}
+		return t3 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the admitted interval is always sufficient — at T =
+// RequiredInterval the per-interval work (overheads + transfer of T*R + C)
+// fits within T.
+func TestPropertyRequiredIntervalSelfConsistent(t *testing.T) {
+	a := table4()
+	f := func(n uint8) bool {
+		count := int(n%8) + 1
+		set := make([]StreamParams, count)
+		for i := range set {
+			set[i] = mpeg1Params()
+		}
+		tReq, err := a.RequiredInterval(set)
+		if err != nil {
+			return true
+		}
+		var bytes float64
+		for _, s := range set {
+			bytes += tReq.Seconds()*s.Rate + float64(s.Chunk)
+		}
+		work := a.TotalOverhead(count).Seconds() + bytes/a.D
+		return work <= tReq.Seconds()*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyRecordRatio(t *testing.T) {
+	r := AccuracyRecord{Actual: 50 * time.Millisecond, Calculated: 200 * time.Millisecond}
+	if math.Abs(r.Ratio()-25) > 1e-9 {
+		t.Fatalf("Ratio = %f, want 25", r.Ratio())
+	}
+	if (AccuracyRecord{}).Ratio() != 0 {
+		t.Fatal("zero calculated should give ratio 0")
+	}
+}

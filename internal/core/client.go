@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+)
+
+// OpenOptions modify crs_open.
+type OpenOptions struct {
+	// Rate scales the retrieval rate (2.0 = the paper's retrieve-everything
+	// fast-forward example). 0 means 1.0.
+	Rate float64
+	// Force bypasses the admission test. The evaluation uses this to
+	// measure what the disk actually sustains beyond the (pessimistic)
+	// admitted load; production callers should leave it false.
+	Force bool
+}
+
+// Handle is an application's connection to one continuous media session.
+// Open/Close/Start/Stop/Seek/SetRate are RPCs to the request manager
+// thread; Get reads the time-driven shared memory buffer directly with no
+// server communication, exactly as crs_get does.
+type Handle struct {
+	srv *Server
+	st  *stream
+}
+
+// Open establishes a session for the media file at path using the supplied
+// chunk table (which the application loaded from the control file via the
+// Unix server), runs the admission test, and sets up the shared buffer.
+// This is crs_open.
+func (s *Server) Open(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
+	resp := s.reqPort.Call(th, openReq{
+		info: info, path: path, rate: opts.Rate, force: opts.Force,
+	}).(openResp)
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return &Handle{srv: s, st: resp.st}, nil
+}
+
+// OpenRecord establishes a constant-rate recording session: the media file
+// is created and fully preallocated through the Unix server, and the
+// periodic scheduler then writes each interval's captured chunks into the
+// placed blocks on the real-time queue. This implements the extension the
+// paper's Conclusions describe. Start/Stop/Seek/Close behave as for
+// playback; the logical clock models the capture source.
+func (s *Server) OpenRecord(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
+	resp := s.reqPort.Call(th, openReq{
+		info: info, path: path, rate: opts.Rate, force: opts.Force, record: true,
+	}).(openResp)
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return &Handle{srv: s, st: resp.st}, nil
+}
+
+// Close ends the session and releases its buffer memory (crs_close).
+func (h *Handle) Close(th *rtm.Thread) error {
+	return h.srv.reqPort.Call(th, closeReq{id: h.st.id}).(opResp).err
+}
+
+// Start starts the stream's logical clock after the configured initial
+// delay and enables pre-fetching (crs_start).
+func (h *Handle) Start(th *rtm.Thread) error {
+	return h.srv.reqPort.Call(th, startReq{id: h.st.id}).(opResp).err
+}
+
+// Stop freezes the logical clock and suspends pre-fetching (crs_stop).
+func (h *Handle) Stop(th *rtm.Thread) error {
+	return h.srv.reqPort.Call(th, stopReq{id: h.st.id}).(opResp).err
+}
+
+// Seek sets the logical clock to the given media time and repositions
+// pre-fetching (crs_seek). Buffered data is dropped.
+func (h *Handle) Seek(th *rtm.Thread, logical sim.Time) error {
+	return h.srv.reqPort.Call(th, seekReq{id: h.st.id, logical: logical}).(opResp).err
+}
+
+// SetRate changes the retrieval rate, re-running admission (the extension
+// supporting the paper's 60 fps fast-forward discussion).
+func (h *Handle) SetRate(th *rtm.Thread, rate float64) error {
+	return h.srv.reqPort.Call(th, setRateReq{id: h.st.id, rate: rate}).(opResp).err
+}
+
+// Get returns the chunk covering the given logical time if it is resident
+// in the shared buffer (crs_get). It involves no communication with the
+// server and may be called from any engine context.
+func (h *Handle) Get(logical sim.Time) (BufferedChunk, bool) {
+	return h.st.buf.Get(logical)
+}
+
+// Available reports residency without recording a hit or miss.
+func (h *Handle) Available(logical sim.Time) bool { return h.st.buf.Peek(logical) }
+
+// LogicalNow returns the session's logical clock value at the current
+// virtual time.
+func (h *Handle) LogicalNow() sim.Time {
+	return h.st.clock.At(h.srv.k.Now())
+}
+
+// ClockStartsAt returns the real time at which the logical clock reaches
+// the given media time (for pacing a player), or -1 if the clock is
+// stopped.
+func (h *Handle) ClockStartsAt(logical sim.Time) sim.Time {
+	return h.st.clock.RealTimeFor(logical)
+}
+
+// Info returns the session's chunk table.
+func (h *Handle) Info() *media.StreamInfo { return h.st.info }
+
+// Params returns the stream's admission parameters (R_i, C_i).
+func (h *Handle) Params() StreamParams { return h.st.par }
+
+// BufferStats exposes the shared buffer for measurements.
+func (h *Handle) BufferStats() *TDBuffer { return h.st.buf }
+
+// StreamStats returns a copy of the per-stream counters.
+func (h *Handle) StreamStats() StreamStats { return h.st.stats }
+
+// ExtentMap returns the session's disk layout view.
+func (h *Handle) ExtentMap() *ExtentMap { return h.st.ext }

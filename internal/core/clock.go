@@ -1,0 +1,83 @@
+package core
+
+import "repro/internal/sim"
+
+// LogicalClock is the per-stream clock of Section 2.4: distinct from the
+// system clock, set to zero when the stream opens, advancing at a rate
+// derived from the stream's recording rate while started. CRAS schedules
+// pre-fetches against it and discards buffered data that falls behind it.
+type LogicalClock struct {
+	logical sim.Time // logical value at the anchor
+	anchor  sim.Time // real time of the last start/seek/rate change
+	rate    float64  // logical seconds per real second while running
+	running bool
+}
+
+// NewLogicalClock returns a stopped clock at logical zero with unit rate.
+func NewLogicalClock() *LogicalClock { return &LogicalClock{rate: 1} }
+
+// Now returns the logical time at real time real.
+func (c *LogicalClock) Now(real sim.Time) sim.Time { return c.At(real) }
+
+// At returns the logical time at the given real time. For a stopped clock
+// it is the frozen logical value. Real times before the anchor saturate at
+// the anchor's logical value (the clock has not started advancing yet).
+func (c *LogicalClock) At(real sim.Time) sim.Time {
+	if !c.running || real <= c.anchor {
+		return c.logical
+	}
+	return c.logical + sim.Time(float64(real-c.anchor)*c.rate)
+}
+
+// Start begins (or resumes) the clock at real time startAt, as observed at
+// real time now. A future startAt implements the initial delay: the clock
+// holds its current logical value until then. Starting an already-running
+// clock freezes it at its value at now and resumes at startAt — it never
+// rewinds (a rewind would suspend the time-driven discard while deliveries
+// continue, overflowing the shared buffer).
+func (c *LogicalClock) Start(now, startAt sim.Time) {
+	c.logical = c.At(now)
+	c.anchor = startAt
+	c.running = true
+}
+
+// Stop freezes the clock at its value at real time now.
+func (c *LogicalClock) Stop(now sim.Time) {
+	c.logical = c.At(now)
+	c.anchor = now
+	c.running = false
+}
+
+// Seek sets the logical value at real time now, preserving the running
+// state (crs_seek).
+func (c *LogicalClock) Seek(now, logical sim.Time) {
+	c.logical = logical
+	c.anchor = now
+}
+
+// SetRate changes the advance rate at real time now (2x for the paper's
+// retrieve-everything fast-forward, 0.5x for slow motion).
+func (c *LogicalClock) SetRate(now sim.Time, rate float64) {
+	c.logical = c.At(now)
+	c.anchor = now
+	c.rate = rate
+}
+
+// Rate returns the current advance rate.
+func (c *LogicalClock) Rate() float64 { return c.rate }
+
+// Running reports whether the clock is advancing.
+func (c *LogicalClock) Running() bool { return c.running }
+
+// RealTimeFor returns the real time at which the clock will reach the
+// logical time, or -1 if it never will (stopped, or already past with the
+// clock running backwards — which this clock cannot do, so only stopped).
+func (c *LogicalClock) RealTimeFor(logical sim.Time) sim.Time {
+	if logical <= c.logical {
+		return c.anchor
+	}
+	if !c.running || c.rate <= 0 {
+		return -1
+	}
+	return c.anchor + sim.Time(float64(logical-c.logical)/c.rate)
+}

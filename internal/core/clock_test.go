@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func sec(n int) sim.Time { return sim.Time(n) * time.Second }
+
+func TestClockStartsStopped(t *testing.T) {
+	c := NewLogicalClock()
+	if c.Running() {
+		t.Fatal("new clock should be stopped")
+	}
+	if c.At(sec(100)) != 0 {
+		t.Fatal("stopped clock should stay at zero")
+	}
+	if c.Rate() != 1 {
+		t.Fatal("default rate should be 1")
+	}
+}
+
+func TestClockAdvancesAfterStart(t *testing.T) {
+	c := NewLogicalClock()
+	c.Start(sec(2), sec(10))
+	if c.At(sec(5)) != 0 {
+		t.Fatal("clock advanced before its start time (initial delay)")
+	}
+	if c.At(sec(10)) != 0 {
+		t.Fatal("clock should be zero exactly at start")
+	}
+	if got := c.At(sec(13)); got != sec(3) {
+		t.Fatalf("At(start+3s) = %v, want 3s", got)
+	}
+}
+
+func TestClockStopFreezes(t *testing.T) {
+	c := NewLogicalClock()
+	c.Start(0, 0)
+	c.Stop(sec(4))
+	if got := c.At(sec(100)); got != sec(4) {
+		t.Fatalf("stopped clock reads %v, want 4s", got)
+	}
+	c.Start(sec(10), sec(10)) // resume
+	if got := c.At(sec(12)); got != sec(6) {
+		t.Fatalf("resumed clock reads %v, want 6s", got)
+	}
+}
+
+func TestClockSeek(t *testing.T) {
+	c := NewLogicalClock()
+	c.Start(0, 0)
+	c.Seek(sec(5), sec(60))
+	if got := c.At(sec(7)); got != sec(62) {
+		t.Fatalf("after seek, At = %v, want 62s", got)
+	}
+	c.Stop(sec(8))
+	c.Seek(sec(9), sec(10))
+	if got := c.At(sec(20)); got != sec(10) {
+		t.Fatalf("seek on stopped clock should stay frozen, got %v", got)
+	}
+}
+
+func TestClockRate(t *testing.T) {
+	c := NewLogicalClock()
+	c.Start(0, 0)
+	c.SetRate(sec(10), 2.0) // logical = 10s here
+	if got := c.At(sec(13)); got != sec(16) {
+		t.Fatalf("2x clock reads %v, want 16s", got)
+	}
+	c.SetRate(sec(13), 0.5) // logical = 16s
+	if got := c.At(sec(17)); got != sec(18) {
+		t.Fatalf("0.5x clock reads %v, want 18s", got)
+	}
+}
+
+func TestClockRealTimeFor(t *testing.T) {
+	c := NewLogicalClock()
+	c.Start(0, sec(10))
+	if got := c.RealTimeFor(sec(5)); got != sec(15) {
+		t.Fatalf("RealTimeFor(5s) = %v, want 15s", got)
+	}
+	if got := c.RealTimeFor(0); got != sec(10) {
+		t.Fatalf("RealTimeFor(0) = %v, want start time", got)
+	}
+	c.Stop(sec(12))
+	if got := c.RealTimeFor(sec(50)); got != -1 {
+		t.Fatalf("RealTimeFor on stopped clock = %v, want -1", got)
+	}
+}
+
+func TestClockRateAffectsRealTimeFor(t *testing.T) {
+	c := NewLogicalClock()
+	c.SetRate(0, 2.0)
+	c.Start(0, 0)
+	if got := c.RealTimeFor(sec(10)); got != sec(5) {
+		t.Fatalf("RealTimeFor at 2x = %v, want 5s", got)
+	}
+}

@@ -1,0 +1,42 @@
+// Package core implements CRAS, the paper's Constant Rate Access Server: a
+// compact continuous-media storage server that retrieves streams from disk
+// at a constant rate for playback applications.
+//
+// The server provides exactly one timing-critical function — constant-rate
+// stream retrieval — and delegates everything else (naming, administration,
+// non-real-time access) to the Unix file system, whose on-disk layout it
+// shares. Its pieces map one-to-one onto the paper:
+//
+//   - Admission control (admission.go): formulas (1)-(2) with the disk
+//     overhead model of Appendix C, computed from parameters measured off
+//     the disk the way Table 4 was.
+//   - Five threads (server.go), as in Figure 3: the request manager
+//     accepts open/close/start/stop/seek calls; the request scheduler runs
+//     once per interval time T, stamps the previous interval's data into
+//     the shared buffers and issues the next interval's reads in cylinder
+//     order on the disk's real-time queue; the I/O-done manager fields
+//     completion interrupts; the deadline manager logs overruns of the
+//     scheduler's per-interval deadline; the signal handler performs
+//     shutdown.
+//   - The time-driven shared memory buffer (tdbuf.go, clock.go): chunks
+//     carry media timestamps; a per-stream logical clock advances at the
+//     stream's recording rate; data whose timestamp falls more than the
+//     jitter allowance J behind the clock is discarded automatically, so
+//     the buffer never overflows and a client may sample it at any rate
+//     (dynamic QoS) without telling the server.
+//   - The client interface (client.go): Open/Close/Start/Stop/Seek
+//     communicate with the request manager; Get reads the shared buffer
+//     directly, with no server round trip, exactly as crs_get does.
+//
+// Extents (extent.go) are where the "same layout as UFS" decision pays
+// off: at open time CRAS fetches the file's block map through the Unix
+// server (a non-real-time operation), coalesces contiguous blocks into
+// runs capped at 256 KB, and from then on reads raw sectors with no file
+// system in the loop. If the file's layout is fragmented — the editing
+// problem of Section 3.2 — the extents shrink and throughput degrades,
+// exactly as the paper describes.
+//
+// Extension beyond the paper's implementation (its Conclusions section):
+// Server.OpenRecord writes a stream at a constant rate into blocks
+// preallocated through the Unix server, using the same periodic scheduler.
+package core

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/ufs"
+)
+
+var errMedium = errors.New("medium error")
+
+// One transient fault: the retry recovers it and playback is unharmed.
+func TestFaultTransientRecoveredByRetry(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 6*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			failures := 1
+			b.d.SetFaultInjector(func(r *disk.Request) error {
+				if r.RealTime && failures > 0 {
+					failures--
+					return errMedium
+				}
+				return nil
+			})
+			h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			h.Start(th)
+			delays, lost := playAndMeasure(b, th, h, 150)
+			// The retry saves the data but costs up to two scheduler
+			// cycles, so a handful of frames around the fault miss their
+			// deadlines; the stream must recover rather than wedge.
+			if lost > 15 {
+				t.Errorf("lost %d frames; retry did not contain the fault", lost)
+			}
+			if len(delays) < 130 {
+				t.Errorf("only %d frames delivered after transient fault", len(delays))
+			}
+			st := h.StreamStats()
+			if st.ReadRetries != 1 {
+				t.Errorf("ReadRetries = %d, want 1", st.ReadRetries)
+			}
+			if st.ReadErrors != 0 || st.ChunksFailed != 0 {
+				t.Errorf("unexpected hard failures: %+v", st)
+			}
+		})
+}
+
+// A persistent fault on one region: the affected chunks are dropped, the
+// stream keeps playing everything else, and the server does not wedge.
+func TestFaultPersistentDropsRangeOnly(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 8*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			// Fail every RT read touching one sector region, forever.
+			var failLo, failHi int64 = -1, -1
+			b.d.SetFaultInjector(func(r *disk.Request) error {
+				if !r.RealTime {
+					return nil
+				}
+				if failLo < 0 {
+					// Victimize the third RT read's region.
+					return nil
+				}
+				if r.LBA < failHi && r.LBA+int64(r.Count) > failLo {
+					return errMedium
+				}
+				return nil
+			})
+			h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			// Target a region in the middle of the file.
+			ext := h.ExtentMap().Extents
+			mid := ext[len(ext)/2]
+			failLo, failHi = mid.LBA, mid.LBA+int64(mid.Sectors)
+			h.Start(th)
+			_, lost := playAndMeasure(b, th, h, 230)
+			st := h.StreamStats()
+			if st.ReadErrors == 0 {
+				t.Fatalf("no hard read errors recorded: %+v", st)
+			}
+			if st.ChunksFailed == 0 {
+				t.Errorf("no chunks dropped for the failed range")
+			}
+			// The dropped chunks are bounded by the failed region; the rest
+			// of the movie still played.
+			if lost > int(st.ChunksFailed)+5 {
+				t.Errorf("lost %d frames for %d failed chunks: failure not contained", lost, st.ChunksFailed)
+			}
+			if lost == 230 {
+				t.Error("stream wedged after the fault")
+			}
+			if b.cras.Stats().ReadErrors == 0 {
+				t.Error("server-level error counter not updated")
+			}
+		})
+}
+
+// Faults on the record path: the writer retries and keeps its schedule.
+func TestFaultDuringRecording(t *testing.T) {
+	plan := media.MPEG1().Generate("/rec", 5*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{},
+		func(b *bed, th *rtm.Thread) {
+			failures := 1
+			b.d.SetFaultInjector(func(r *disk.Request) error {
+				if r.RealTime && r.Write && failures > 0 {
+					failures--
+					return errMedium
+				}
+				return nil
+			})
+			h, err := b.cras.OpenRecord(th, plan, "/rec", OpenOptions{})
+			if err != nil {
+				t.Errorf("OpenRecord: %v", err)
+				return
+			}
+			h.Start(th)
+			th.Sleep(b.cras.Config().InitialDelay + plan.TotalDuration() + 2*time.Second)
+			st := h.StreamStats()
+			if st.ReadRetries != 1 {
+				t.Errorf("retries = %d, want 1", st.ReadRetries)
+			}
+			if st.ReadErrors != 0 {
+				t.Errorf("hard errors = %d, want 0 (transient faults)", st.ReadErrors)
+			}
+			if st.BytesScheduled < plan.TotalSize() {
+				t.Errorf("recording fell short: %d of %d", st.BytesScheduled, plan.TotalSize())
+			}
+		})
+}

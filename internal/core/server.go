@@ -1,0 +1,666 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// CPU cost model for the server threads (100 MHz Pentium scale).
+const (
+	costCycleBase  = 300 * time.Microsecond // request scheduler fixed work per interval
+	costPerRequest = 40 * time.Microsecond  // building and issuing one disk read
+	costPerStamp   = 15 * time.Microsecond  // moving one chunk into a shared buffer
+	costIODone     = 20 * time.Microsecond  // fielding one completion notification
+	costManagerOp  = 500 * time.Microsecond // open/close/start/stop/seek bookkeeping
+)
+
+// Config parameterizes a CRAS instance.
+type Config struct {
+	Interval     sim.Time // T; default 500 ms (the evaluation's setting)
+	BufferBudget int64    // total shared-buffer memory; default 8 MB
+	Jitter       sim.Time // J of the time-driven buffer; default 100 ms
+	MaxRead      int      // largest single disk read; default 256 KB
+	InitialDelay sim.Time // default 2*Interval (the paper's 1 s at T=0.5 s)
+
+	// Thread placement. Quantum 0 = fixed-priority (the paper's normal
+	// configuration); a positive quantum with flattened priorities is the
+	// round-robin configuration of Figure 10.
+	SchedulerPrio int
+	ManagerPrio   int
+	IODonePrio    int
+	DeadlinePrio  int
+	SignalPrio    int
+	Quantum       sim.Time
+
+	// NoRTQueue is an ablation switch: CRAS submits its reads on the
+	// normal queue instead of the real-time queue, undoing the paper's
+	// first kernel modification. Background traffic then interleaves with
+	// stream reads, which is exactly what Figures 6 and 7 blame for the
+	// Unix file system's behaviour.
+	NoRTQueue bool
+
+	Params AdmissionParams
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.BufferBudget == 0 {
+		c.BufferBudget = 8 << 20
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 100 * time.Millisecond
+	}
+	if c.MaxRead == 0 {
+		c.MaxRead = 256 << 10
+	}
+	if c.InitialDelay == 0 {
+		c.InitialDelay = 2 * c.Interval
+	}
+	if c.SchedulerPrio == 0 {
+		c.SchedulerPrio = rtm.PrioRT
+	}
+	if c.ManagerPrio == 0 {
+		c.ManagerPrio = rtm.PrioRTLow
+	}
+	if c.IODonePrio == 0 {
+		c.IODonePrio = rtm.PrioRT + 1
+	}
+	if c.DeadlinePrio == 0 {
+		c.DeadlinePrio = rtm.PrioRT + 2
+	}
+	if c.SignalPrio == 0 {
+		c.SignalPrio = rtm.PrioRTLow
+	}
+}
+
+// cycleStat tracks one scheduler interval's disk batch for the admission
+// accuracy experiments (Figures 8 and 9).
+type cycleStat struct {
+	cycle      int
+	submitted  sim.Time
+	streams    int
+	bytes      int64
+	reads      int
+	remaining  int
+	lastDone   sim.Time
+	serviceSum sim.Time // disk mechanism time consumed by the batch
+	otherDelay sim.Time // non-real-time request in service at submit (O_other)
+	calculated sim.Time
+}
+
+// AccuracyRecord is the per-interval outcome used by Figures 8 and 9: the
+// ratio of actual disk I/O time to the admission test's calculated time.
+type AccuracyRecord struct {
+	Cycle      int
+	Streams    int
+	Bytes      int64
+	Actual     sim.Time
+	Calculated sim.Time
+}
+
+// Ratio returns actual/calculated in percent (the figures' y-axis).
+func (r AccuracyRecord) Ratio() float64 {
+	if r.Calculated == 0 {
+		return 0
+	}
+	return 100 * float64(r.Actual) / float64(r.Calculated)
+}
+
+// Stats aggregates server activity.
+type Stats struct {
+	Cycles             int
+	BytesRead          int64
+	ReadsIssued        int64
+	ChunksStamped      int64
+	ThreadDeadlineMiss int
+	IODeadlineMiss     int
+	AdmissionRejects   int
+	ReadErrors         int64 // reads that failed even after retry
+	Accuracy           []AccuracyRecord
+}
+
+// IOOverrun is sent to the deadline manager when an interval's disk batch
+// finishes after the end of the interval.
+type IOOverrun struct {
+	Cycle  int
+	LateBy sim.Time
+}
+
+// Server is a running CRAS instance: five threads on the kernel, a
+// real-time claim on the disk, and the shared buffers of its open streams.
+type Server struct {
+	k   *rtm.Kernel
+	d   *disk.Disk
+	cfg Config
+
+	resolver Resolver
+	mgr      *rtm.Thread
+
+	reqPort      *rtm.Port
+	iodonePort   *rtm.Port
+	deadlinePort *rtm.Port
+	signalPort   *rtm.Port
+
+	schedThread *rtm.Thread
+
+	streams []*stream
+	nextID  int
+	doneQ   []*readTag
+	cycle   int
+
+	stopping bool
+	stats    Stats
+
+	// OnDeadlineMiss, if set, observes every deadline event (thread
+	// overruns and I/O overruns). The default recovery action matches the
+	// paper: note a warning and carry on.
+	OnDeadlineMiss func(kind string, cycle int, lateBy sim.Time)
+}
+
+// NewServer starts CRAS on the kernel in the paper's standard
+// configuration, resolving media files through the Unix server. Config
+// zero-values select the paper's defaults.
+func NewServer(k *rtm.Kernel, d *disk.Disk, unixServer *ufs.Server, cfg Config) *Server {
+	return NewServerWith(k, d, UnixResolver(unixServer), cfg)
+}
+
+// NewServerWith starts CRAS with an explicit Resolver — the hook for the
+// paper's Figure 5 alternative configurations (RTS, or CRAS linked into
+// the application with no Unix server at all).
+func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *Server {
+	cfg.fillDefaults()
+	if cfg.Params.D == 0 {
+		// Calibrate the admission test from the disk, with the paper's
+		// 64 KB bound on other traffic.
+		cfg.Params = MeasureAdmissionParams(d, 64<<10)
+	}
+	s := &Server{
+		k: k, d: d, cfg: cfg, resolver: resolver,
+		reqPort:      k.NewPort("cras.request"),
+		iodonePort:   k.NewPort("cras.iodone"),
+		deadlinePort: k.NewPort("cras.deadline"),
+		signalPort:   k.NewPort("cras.signal"),
+	}
+
+	// Request manager thread: accepts open/close/start/stop/seek and
+	// resolves block maps at open time (the non-real-time path).
+	s.mgr = k.NewThread("cras.reqmgr", cfg.ManagerPrio, cfg.Quantum, func(t *rtm.Thread) {
+		for !s.stopping {
+			req, reply := s.reqPort.ReceiveCall(t)
+			t.Compute(costManagerOp)
+			reply(s.handleRequest(t, req))
+		}
+	})
+
+	// Request scheduler thread: the periodic heart of CRAS.
+	s.schedThread = k.NewPeriodicThread(rtm.PeriodicConfig{
+		Name: "cras.scheduler", Priority: cfg.SchedulerPrio, Quantum: cfg.Quantum,
+		Period: cfg.Interval, Deadline: cfg.Interval, DeadlinePort: s.deadlinePort,
+	}, s.scheduleCycle)
+
+	// I/O-done manager thread: fields completion interrupts.
+	k.NewThread("cras.iodone", cfg.IODonePrio, cfg.Quantum, func(t *rtm.Thread) {
+		for !s.stopping {
+			m := s.iodonePort.Receive(t)
+			tag, ok := m.(*readTag)
+			if !ok {
+				continue // shutdown wakeup
+			}
+			t.Compute(costIODone)
+			s.doneQ = append(s.doneQ, tag)
+		}
+	})
+
+	// Deadline manager thread: the paper's recovery action is a warning.
+	k.NewThread("cras.deadline", cfg.DeadlinePrio, cfg.Quantum, func(t *rtm.Thread) {
+		for !s.stopping {
+			switch m := s.deadlinePort.Receive(t).(type) {
+			case rtm.DeadlineMiss:
+				s.stats.ThreadDeadlineMiss++
+				s.notifyMiss("scheduler-overrun", m.Cycle, m.LateBy)
+			case IOOverrun:
+				s.stats.IODeadlineMiss++
+				s.notifyMiss("io-overrun", m.Cycle, m.LateBy)
+			}
+		}
+	})
+
+	// Signal handler thread: shutdown and cleanup.
+	k.NewThread("cras.signal", cfg.SignalPrio, cfg.Quantum, func(t *rtm.Thread) {
+		s.signalPort.Receive(t)
+		s.stopping = true
+		for _, st := range s.streams {
+			st.closed = true
+		}
+		// Wake the blocking loops so they observe the flag.
+		s.deadlinePort.Send(IOOverrun{})
+		s.iodonePort.Send(nil)
+	})
+
+	return s
+}
+
+func (s *Server) notifyMiss(kind string, cycle int, lateBy sim.Time) {
+	if s.OnDeadlineMiss != nil {
+		s.OnDeadlineMiss(kind, cycle, lateBy)
+	} else {
+		s.k.Engine().Tracef("cras: %s at cycle %d, late by %v", kind, cycle, lateBy)
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Stats returns a copy of the server statistics.
+func (s *Server) Stats() Stats {
+	out := s.stats
+	out.Accuracy = append([]AccuracyRecord(nil), s.stats.Accuracy...)
+	return out
+}
+
+// FixedFootprint models the server's code-and-static-data size, which the
+// paper reports as about 250 KB; CRAS wires all of its memory down, so
+// total pinned memory is this plus the shared buffers.
+const FixedFootprint = 250 << 10
+
+// MemoryFootprint returns the wired memory the server currently holds:
+// the fixed footprint plus every open stream's shared buffer. The paper's
+// compactness argument rests on this staying small enough to wire without
+// starving other applications.
+func (s *Server) MemoryFootprint() int64 {
+	total := int64(FixedFootprint)
+	for _, st := range s.streams {
+		if !st.closed {
+			total += st.buf.Capacity()
+		}
+	}
+	return total
+}
+
+// ActiveStreams returns the number of open sessions.
+func (s *Server) ActiveStreams() int {
+	n := 0
+	for _, st := range s.streams {
+		if !st.closed {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown signals the server to stop (usable from any engine context).
+func (s *Server) Shutdown() { s.signalPort.Send("shutdown") }
+
+// scheduleCycle is one run of the request scheduler thread: stamp the data
+// retrieved during the previous interval into the shared buffers, discard
+// obsolete data, then issue the next interval's reads in cylinder order.
+func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
+	if s.stopping {
+		return false
+	}
+	now := s.k.Now()
+	s.cycle = cycle
+	s.stats.Cycles++
+
+	// Phase 1: absorb completions delivered by the I/O-done manager. A
+	// failed read gets one immediate retry; a second failure surrenders
+	// the byte range (the stream drops those chunks and plays on).
+	stamped := int64(0)
+	for _, tag := range s.doneQ {
+		live := tag.gen == tag.s.gen && !tag.s.closed
+		if live && tag.err != nil && !tag.retried {
+			tag.retried = true
+			tag.err = nil
+			tag.s.stats.ReadRetries++
+			s.submitTag(tag)
+			continue // final accounting happens when the retry completes
+		}
+		if live {
+			tag.done = true
+			if tag.err != nil {
+				tag.failed = true
+				tag.s.stats.ReadErrors++
+				s.stats.ReadErrors++
+			}
+		}
+		if tag.cyc != nil {
+			tag.cyc.remaining--
+			tag.cyc.serviceSum += tag.completed - tag.started
+			if tag.completed > tag.cyc.lastDone {
+				tag.cyc.lastDone = tag.completed
+			}
+			if tag.cyc.remaining == 0 {
+				s.finishCycleStat(tag.cyc)
+			}
+		}
+	}
+	s.doneQ = s.doneQ[:0]
+	for _, st := range s.streams {
+		if st.closed {
+			continue
+		}
+		before := st.stats.ChunksStamped
+		st.absorbCompletions(now)
+		stamped += st.stats.ChunksStamped - before
+		st.buf.DiscardBefore(st.clock.At(now) - st.buf.Jitter())
+	}
+	s.stats.ChunksStamped += stamped
+
+	// Phase 2: collect the reads for the next interval.
+	horizonAt := now + 2*s.cfg.Interval
+	var batch []*readTag
+	active := 0
+	for _, st := range s.streams {
+		if st.closed {
+			continue
+		}
+		horizon := st.clock.At(horizonAt) + st.lead
+		if st.record {
+			// A recorder persists what has been captured up to now.
+			horizon = st.clock.At(now)
+		}
+		tags := st.fetchTargets(horizon)
+		if len(tags) > 0 {
+			active++
+		}
+		batch = append(batch, tags...)
+	}
+
+	// CPU cost of the scheduling work itself.
+	t.Compute(costCycleBase + costPerRequest*sim.Time(len(batch)) + costPerStamp*sim.Time(stamped))
+
+	if len(batch) == 0 {
+		return !s.stopping
+	}
+
+	// Issue in cylinder order (the disk's RT queue also C-SCANs, but CRAS
+	// hands over a sorted batch as the paper describes).
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].lba < batch[j].lba })
+
+	cs := &cycleStat{cycle: cycle, submitted: s.k.Now(), streams: active, remaining: len(batch)}
+	for _, tag := range batch {
+		cs.bytes += tag.hi - tag.lo
+		cs.reads++
+	}
+	// The per-interval estimate counts disk operations — Appendix C's
+	// formula (10) says "when N reads are performed" — because an
+	// interval's fetch for one stream can split across extents. The
+	// a-priori admission test keeps the paper's per-stream N.
+	cs.calculated = s.cfg.Params.CalculatedIOTime(cs.reads, cs.bytes)
+	cs.otherDelay = s.d.ActiveNonRTRemaining()
+
+	for _, tag := range batch {
+		tag.cyc = cs
+		s.stats.ReadsIssued++
+		s.stats.BytesRead += tag.hi - tag.lo
+		s.submitTag(tag)
+	}
+	s.k.Engine().Tracef("cras: cycle %d: %d streams, %d ops, %d bytes, %d chunks stamped",
+		cycle, active, len(batch), cs.bytes, stamped)
+	return !s.stopping
+}
+
+// submitTag issues (or re-issues) one raw disk operation for a tag.
+func (s *Server) submitTag(tag *readTag) {
+	s.d.Submit(&disk.Request{
+		LBA: tag.lba, Count: tag.sectors, RealTime: !s.cfg.NoRTQueue,
+		Write: tag.s.record, // sparse payload: placement is what matters
+		Done: func(r *disk.Request, _ []byte) {
+			tag.started = r.Started
+			tag.completed = r.Completed
+			tag.err = r.Err
+			s.iodonePort.Send(tag)
+		},
+	})
+}
+
+// finishCycleStat records a completed batch's accuracy and checks the
+// I/O deadline (end of the interval that issued it). The "actual disk I/O
+// time" compared against the estimate is the mechanism time the batch
+// consumed plus the delay from a non-real-time request that was in service
+// when the batch was submitted — the quantities formulas (9)-(15) bound.
+// Queueing behind a previous overrunning batch is deliberately excluded:
+// that is a symptom of oversubscription, not estimation error.
+func (s *Server) finishCycleStat(cs *cycleStat) {
+	actual := cs.otherDelay + cs.serviceSum
+	s.stats.Accuracy = append(s.stats.Accuracy, AccuracyRecord{
+		Cycle: cs.cycle, Streams: cs.streams, Bytes: cs.bytes,
+		Actual: actual, Calculated: cs.calculated,
+	})
+	deadline := cs.submitted + s.cfg.Interval
+	if cs.lastDone > deadline {
+		s.deadlinePort.Send(IOOverrun{Cycle: cs.cycle, LateBy: cs.lastDone - deadline})
+	}
+}
+
+// ---- request manager operations ----
+
+type (
+	openReq struct {
+		info   *media.StreamInfo
+		path   string
+		rate   float64
+		force  bool
+		record bool
+	}
+	closeReq struct{ id int }
+	startReq struct{ id int }
+	stopReq  struct{ id int }
+	seekReq  struct {
+		id      int
+		logical sim.Time
+	}
+	setRateReq struct {
+		id   int
+		rate float64
+	}
+
+	openResp struct {
+		st  *stream
+		err error
+	}
+	opResp struct{ err error }
+)
+
+func (s *Server) findStream(id int) *stream {
+	for _, st := range s.streams {
+		if st.id == id && !st.closed {
+			return st
+		}
+	}
+	return nil
+}
+
+// admissionSet returns the StreamParams of all open streams plus extras.
+func (s *Server) admissionSet(extra ...StreamParams) []StreamParams {
+	var set []StreamParams
+	for _, st := range s.streams {
+		if !st.closed {
+			set = append(set, st.par)
+		}
+	}
+	return append(set, extra...)
+}
+
+func (s *Server) handleRequest(t *rtm.Thread, req any) any {
+	now := s.k.Now()
+	switch r := req.(type) {
+	case openReq:
+		return s.handleOpen(t, r)
+	case closeReq:
+		st := s.findStream(r.id)
+		if st == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		st.closed = true
+		st.gen++
+		return opResp{}
+	case startReq:
+		st := s.findStream(r.id)
+		if st == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		st.clock.Start(now, now+s.cfg.InitialDelay)
+		return opResp{}
+	case stopReq:
+		st := s.findStream(r.id)
+		if st == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		st.clock.Stop(now)
+		return opResp{}
+	case seekReq:
+		st := s.findStream(r.id)
+		if st == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		st.clock.Seek(now, r.logical)
+		st.seekTo(r.logical)
+		return opResp{}
+	case setRateReq:
+		st := s.findStream(r.id)
+		if st == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		// Rate changes change R_i; re-run admission on the updated set.
+		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
+		var set []StreamParams
+		for _, other := range s.streams {
+			if other.closed || other == st {
+				continue
+			}
+			set = append(set, other.par)
+		}
+		if err := s.cfg.Params.Admit(s.cfg.Interval, s.cfg.BufferBudget, append(set, updated)); err != nil {
+			s.stats.AdmissionRejects++
+			return opResp{err: err}
+		}
+		st.par = updated
+		st.clock.SetRate(now, r.rate)
+		// Rescale the machinery that depends on R_i. The buffer allocation
+		// only grows: shrinking it under data resident from the faster rate
+		// would overflow until the window drains, dropping chunks for no
+		// benefit. (Admission accounting uses the formula value either way.)
+		if cap := s.bufferCapacity(updated); cap > st.buf.Capacity() {
+			st.buf.SetCapacity(cap)
+		}
+		st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*updated.Rate) + updated.Chunk)
+		leadReal := s.cfg.Interval
+		if extra := s.cfg.InitialDelay - 2*s.cfg.Interval; extra > 0 {
+			leadReal += extra
+		}
+		st.lead = sim.Time(float64(leadReal) * r.rate)
+		st.wholeExtents = int64(leadReal.Seconds()*updated.Rate) >= int64(s.cfg.MaxRead)
+		return opResp{}
+	}
+	return opResp{err: fmt.Errorf("cras: unknown request %T", req)}
+}
+
+func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
+	if r.rate == 0 {
+		r.rate = 1
+	}
+	if err := r.info.Validate(); err != nil {
+		return openResp{err: err}
+	}
+	par := StreamParams{
+		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
+		Chunk: maxChunkSize(r.info),
+	}
+	if !r.force {
+		if err := s.cfg.Params.Admit(s.cfg.Interval, s.cfg.BufferBudget, s.admissionSet(par)); err != nil {
+			s.stats.AdmissionRejects++
+			return openResp{err: err}
+		}
+	}
+
+	// Non-real-time path: resolve the file's block map. Recording sessions
+	// preallocate every block up front — the file-system modification the
+	// paper's conclusion calls for — so the periodic writer never touches
+	// the allocator.
+	var blocks []uint32
+	var size int64
+	var err error
+	if r.record {
+		blocks, size, err = s.resolver.ResolveRecord(t, r.path, r.info.TotalSize())
+	} else {
+		blocks, size, err = s.resolver.ResolvePlayback(t, r.path)
+	}
+	if err != nil {
+		return openResp{err: fmt.Errorf("cras: open %s: %w", r.path, err)}
+	}
+	if size < r.info.TotalSize() {
+		return openResp{err: fmt.Errorf("cras: media file %s is %d bytes, chunk table needs %d", r.path, size, r.info.TotalSize())}
+	}
+	ext, err := BuildExtentMap(blocks, size, s.cfg.MaxRead)
+	if err != nil {
+		return openResp{err: err}
+	}
+
+	st := &stream{
+		id:     s.nextID,
+		name:   r.path,
+		info:   r.info,
+		par:    par,
+		ext:    ext,
+		record: r.record,
+		clock:  NewLogicalClock(),
+		buf:    NewTDBuffer(s.bufferCapacity(par), s.cfg.Jitter),
+	}
+	if !r.record {
+		// One interval of safety lead keeps the worst-case stamping margin
+		// at half an interval instead of zero (the paper's Figure 4 shows
+		// Tread_ahead running ahead of Tnow); any initial delay beyond the
+		// minimum 2T adds further prefill on top.
+		leadReal := s.cfg.Interval
+		if extra := s.cfg.InitialDelay - 2*s.cfg.Interval; extra > 0 {
+			leadReal += extra
+		}
+		st.lead = sim.Time(float64(leadReal) * r.rate)
+		st.wholeExtents = int64(leadReal.Seconds()*par.Rate) >= int64(s.cfg.MaxRead)
+	}
+	// Spread any prefill over the startup window: at most twice the
+	// steady-state amount per interval.
+	st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*par.Rate) + par.Chunk)
+	st.clock.SetRate(s.k.Now(), r.rate)
+	st.seekTo(0)
+	s.nextID++
+	s.streams = append(s.streams, st)
+	return openResp{st: st}
+}
+
+// bufferCapacity sizes a stream's shared buffer. The admission test charges
+// the paper's B_i = 2*(T*R_i + C_i); the actual allocation additionally
+// covers the jitter window J that Figure 4 shows inside the buffer (data
+// younger than Tdiscard = Tnow - J is retained), plus one chunk of
+// stamping-granularity slack.
+func (s *Server) bufferCapacity(par StreamParams) int64 {
+	cap := BufferPerStream(s.cfg.Interval, par) +
+		int64(s.cfg.Jitter.Seconds()*par.Rate) + par.Chunk
+	// The fetch horizon leads consumption by one safety interval plus any
+	// initial delay beyond 2T (see stream.lead); the buffer must hold it.
+	lead := s.cfg.Interval
+	if extra := s.cfg.InitialDelay - 2*s.cfg.Interval; extra > 0 {
+		lead += extra
+	}
+	return cap + int64(lead.Seconds()*par.Rate)
+}
+
+func maxChunkSize(info *media.StreamInfo) int64 {
+	var max int64
+	for _, c := range info.Chunks {
+		if c.Size > max {
+			max = c.Size
+		}
+	}
+	return max
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"repro/internal/media"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// StreamStats aggregates per-stream activity.
+type StreamStats struct {
+	BytesScheduled int64
+	BytesCompleted int64
+	ChunksStamped  int64
+	ChunksLate     int64 // stamped after the logical clock had passed them
+	ChunksFailed   int64 // never stamped because their disk read failed
+	ReadsIssued    int64
+	ReadRetries    int64
+	ReadErrors     int64 // reads that failed even after the retry
+}
+
+// stream is the server-side state of one open continuous media session.
+type stream struct {
+	id   int
+	name string
+	info *media.StreamInfo
+	par  StreamParams
+	ext  *ExtentMap
+
+	clock *LogicalClock
+	buf   *TDBuffer
+
+	// record marks a constant-rate recording session (the extension from
+	// the paper's Conclusions): the same periodic machinery runs, but the
+	// per-interval disk operations are writes into preallocated blocks and
+	// the horizon is the data already captured rather than the data about
+	// to be consumed.
+	record bool
+
+	gen int // bumped by seek/close; stale completions are dropped
+
+	// lead extends the fetch horizon beyond the standard two intervals, in
+	// logical time. It is how an initial delay longer than 2T turns into
+	// prefilled buffer: the clock sits still during the delay while the
+	// horizon is already lead ahead, and the extra data rides out intervals
+	// whose disk batch overruns (the paper's 3-second-delay capacity claim).
+	lead sim.Time
+
+	// cycleCap bounds the bytes scheduled per interval so the prefill
+	// spreads over the startup window instead of landing as one burst.
+	cycleCap int64
+
+	// wholeExtents selects full-extent (up to 256 KB) reads even past the
+	// horizon target. This is the paper's "reads up to 256 KB at a time"
+	// optimization: it amortizes command, seek and rotation costs over big
+	// transfers, and is enabled when the initial delay provides enough
+	// buffer lead to absorb the overshoot.
+	wholeExtents bool
+
+	// Fetch bookkeeping, all in file bytes / chunk indices.
+	nextChunk   int   // next chunk whose timestamp has not crossed the horizon
+	nextStamp   int   // next chunk to stamp when data arrives
+	targetByte  int64 // exclusive high byte the horizon requires
+	fetchedUpTo int64 // exclusive high byte covered by scheduled reads
+	extIdx      int   // extent whose FileOff == fetchedUpTo
+	pending     []*readTag
+
+	// failedRanges are file byte ranges whose reads failed after retry;
+	// chunks overlapping them are dropped rather than stamped.
+	failedRanges [][2]int64
+
+	stats  StreamStats
+	closed bool
+}
+
+// readTag links a raw disk read back to the stream bytes it covers.
+type readTag struct {
+	s         *stream
+	gen       int
+	cyc       *cycleStat
+	lo, hi    int64 // file byte range
+	lba       int64
+	sectors   int
+	done      bool
+	failed    bool // read failed even after the retry
+	retried   bool
+	err       error
+	started   sim.Time
+	completed sim.Time
+}
+
+// seekTo repositions the fetch machinery at the chunk covering the logical
+// time and clears buffered data; in-flight reads are invalidated by the
+// generation bump.
+func (s *stream) seekTo(logical sim.Time) {
+	s.gen++
+	s.pending = s.pending[:0]
+	s.failedRanges = nil
+	s.buf.Reset()
+	idx := s.info.ChunkAt(logical)
+	if idx < 0 {
+		if logical >= s.info.TotalDuration() {
+			idx = len(s.info.Chunks)
+		} else {
+			idx = 0
+		}
+	}
+	s.nextChunk = idx
+	s.nextStamp = idx
+	var off int64
+	if idx < len(s.info.Chunks) {
+		off = s.info.Chunks[idx].Offset
+	} else {
+		off = s.info.TotalSize()
+	}
+	// Snap the fetch point to the block containing the chunk and find the
+	// extent that covers it.
+	off = off / ufs.BlockSize * ufs.BlockSize
+	s.extIdx = 0
+	for s.extIdx < len(s.ext.Extents)-1 && s.ext.Extents[s.extIdx+1].FileOff <= off {
+		s.extIdx++
+	}
+	s.fetchedUpTo = off
+	s.targetByte = off
+}
+
+// fetchTargets returns the reads needed to cover every chunk that becomes
+// current before the horizon, as whole extents from the current fetch
+// point, bounded by the per-cycle byte cap. It advances the bookkeeping;
+// the caller submits the reads.
+func (s *stream) fetchTargets(horizon sim.Time) []*readTag {
+	chunks := s.info.Chunks
+	for s.nextChunk < len(chunks) && chunks[s.nextChunk].Timestamp < horizon {
+		end := chunks[s.nextChunk].Offset + chunks[s.nextChunk].Size
+		if end > s.targetByte {
+			s.targetByte = end
+		}
+		s.nextChunk++
+	}
+	// Reads cover exactly the blocks the horizon requires (the interval's
+	// worth of data), sliced out of the extent map at block granularity.
+	// An extent bounds a single read at 256 KB of contiguous disk; it does
+	// not force fetching ahead of the horizon.
+	target := alignUp(s.targetByte, ufs.BlockSize)
+	if target > s.ext.Size {
+		target = alignUp(s.ext.Size, ufs.BlockSize)
+	}
+	var tags []*readTag
+	var cycleBytes int64
+	for s.fetchedUpTo < target && s.extIdx < len(s.ext.Extents) {
+		if s.cycleCap > 0 && cycleBytes >= s.cycleCap {
+			break
+		}
+		e := s.ext.Extents[s.extIdx]
+		lo := s.fetchedUpTo
+		hi := e.FileOff + e.Bytes()
+		if hi > target && !s.wholeExtents {
+			hi = target
+		}
+		// Respect the per-cycle cap at block granularity (whole-extent mode
+		// deliberately trades this precision for 256 KB transfers).
+		if s.cycleCap > 0 && !s.wholeExtents {
+			if room := s.cycleCap - cycleBytes; hi-lo > room {
+				capped := lo + room/ufs.BlockSize*ufs.BlockSize
+				if capped > lo {
+					hi = capped
+				} else {
+					hi = lo + ufs.BlockSize // always make progress
+				}
+			}
+		}
+		tags = append(tags, &readTag{
+			s: s, gen: s.gen,
+			lo: lo, hi: hi,
+			lba:     e.LBA + (lo-e.FileOff)/512,
+			sectors: int((hi - lo) / 512),
+		})
+		s.fetchedUpTo = hi
+		if hi == e.FileOff+e.Bytes() {
+			s.extIdx++
+		}
+		cycleBytes += hi - lo
+		s.stats.BytesScheduled += hi - lo
+		s.stats.ReadsIssued++
+	}
+	s.pending = append(s.pending, tags...)
+	return tags
+}
+
+func alignUp(v, to int64) int64 { return (v + to - 1) / to * to }
+
+// absorbCompletions advances the contiguous completion watermark and stamps
+// every fully arrived chunk into the time-driven buffer. now is the real
+// time of the stamping cycle.
+func (s *stream) absorbCompletions(now sim.Time) {
+	watermark := s.fetchedUpTo
+	// The watermark is the high byte of the completed prefix of pending
+	// reads (reads were issued in file order). Failed reads still advance
+	// it — their byte range is recorded so the affected chunks are dropped
+	// instead of blocking the stream forever.
+	for len(s.pending) > 0 && s.pending[0].done {
+		head := s.pending[0]
+		if head.failed {
+			s.failedRanges = append(s.failedRanges, [2]int64{head.lo, head.hi})
+		} else {
+			s.stats.BytesCompleted += head.hi - head.lo
+		}
+		s.pending = s.pending[1:]
+	}
+	if len(s.pending) > 0 {
+		watermark = s.pending[0].lo
+	}
+	chunks := s.info.Chunks
+	logical := s.clock.At(now)
+	tdiscard := logical - s.buf.Jitter()
+	for s.nextStamp < s.nextChunk && s.nextStamp < len(chunks) {
+		c := chunks[s.nextStamp]
+		if c.Offset+c.Size > watermark {
+			break
+		}
+		if s.overlapsFailed(c.Offset, c.Offset+c.Size) {
+			s.stats.ChunksFailed++
+			s.nextStamp++
+			continue
+		}
+		if c.Timestamp < logical && !s.record {
+			s.stats.ChunksLate++
+			// A chunk already behind the discard line would be removed the
+			// moment it was inserted; inserting it anyway can transiently
+			// overflow the buffer and push out chunks that are still
+			// needed. Skip it outright.
+			if c.Timestamp+c.Duration <= tdiscard {
+				s.nextStamp++
+				continue
+			}
+		}
+		s.buf.Insert(BufferedChunk{
+			Index: s.nextStamp, Timestamp: c.Timestamp, Duration: c.Duration,
+			Size: c.Size, StampedAt: now,
+		})
+		s.stats.ChunksStamped++
+		s.nextStamp++
+	}
+	// Prune failed ranges the stamp pointer has moved past.
+	if s.nextStamp < len(chunks) {
+		kept := s.failedRanges[:0]
+		for _, fr := range s.failedRanges {
+			if fr[1] > chunks[s.nextStamp].Offset {
+				kept = append(kept, fr)
+			}
+		}
+		s.failedRanges = kept
+	} else {
+		s.failedRanges = nil
+	}
+}
+
+func (s *stream) overlapsFailed(lo, hi int64) bool {
+	for _, fr := range s.failedRanges {
+		if lo < fr[1] && fr[0] < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// sectorsPerBlockSanity guards the compile-time relationship the extent
+// math relies on.
+var _ = [1]struct{}{}[ufs.SectorsPerBlock*512-ufs.BlockSize]

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// BufferedChunk is one media chunk resident in a time-driven shared memory
+// buffer: the data (represented by its size — payload bytes are sparse in
+// the simulation) plus the timestamp CRAS stamped it with.
+type BufferedChunk struct {
+	Index     int      // chunk index in the stream's table
+	Timestamp sim.Time // media time
+	Duration  sim.Time
+	Size      int64
+	StampedAt sim.Time // real time the request scheduler delivered it
+}
+
+// TDBuffer is the time-driven shared memory buffer of Figure 4. The server
+// inserts chunks with their timestamps; obsolete chunks (timestamp older
+// than Tdiscard = Tnow - J on the stream's logical clock) are discarded
+// automatically, so the buffer always has room for the data being
+// retrieved and never pushes back on the producer the way a FIFO would.
+type TDBuffer struct {
+	capacity int64 // B: total buffer bytes for this stream
+	jitter   sim.Time
+
+	chunks []BufferedChunk // ordered by timestamp
+	bytes  int64
+
+	// Stats.
+	Inserted    int64
+	Discarded   int64 // by the time-driven rule
+	Overflowed  int64 // inserts refused for lack of space (should not happen)
+	PeakBytes   int64
+	GetHits     int64
+	GetMisses   int64
+	LateDiscard int64 // chunks that were never read before discard
+	read        map[int]bool
+}
+
+// NewTDBuffer creates a buffer with the given byte capacity and jitter
+// allowance J.
+func NewTDBuffer(capacity int64, jitter sim.Time) *TDBuffer {
+	return &TDBuffer{capacity: capacity, jitter: jitter, read: make(map[int]bool)}
+}
+
+// Capacity returns B, the configured byte capacity.
+func (b *TDBuffer) Capacity() int64 { return b.capacity }
+
+// SetCapacity resizes the buffer (used when a rate change re-admits the
+// stream with a different R_i). Resident data is kept even if it now
+// exceeds the capacity; the time-driven discard drains it.
+func (b *TDBuffer) SetCapacity(capacity int64) { b.capacity = capacity }
+
+// Bytes returns the bytes currently resident.
+func (b *TDBuffer) Bytes() int64 { return b.bytes }
+
+// Len returns the number of resident chunks.
+func (b *TDBuffer) Len() int { return len(b.chunks) }
+
+// Insert stamps a chunk into the buffer. It reports whether the chunk fit;
+// a false return is counted as an overflow (the admission test is supposed
+// to make this impossible).
+func (b *TDBuffer) Insert(c BufferedChunk) bool {
+	if b.bytes+c.Size > b.capacity {
+		b.Overflowed++
+		return false
+	}
+	b.chunks = append(b.chunks, c)
+	b.bytes += c.Size
+	b.Inserted++
+	if b.bytes > b.PeakBytes {
+		b.PeakBytes = b.bytes
+	}
+	return true
+}
+
+// DiscardBefore applies the time-driven rule: every chunk whose timestamp
+// is earlier than tdiscard is removed. The caller computes tdiscard as
+// logicalNow - J.
+func (b *TDBuffer) DiscardBefore(tdiscard sim.Time) int {
+	n := 0
+	for n < len(b.chunks) && b.chunks[n].Timestamp < tdiscard {
+		b.bytes -= b.chunks[n].Size
+		b.Discarded++
+		if !b.read[b.chunks[n].Index] {
+			b.LateDiscard++
+		}
+		delete(b.read, b.chunks[n].Index)
+		n++
+	}
+	if n > 0 {
+		b.chunks = append(b.chunks[:0], b.chunks[n:]...)
+	}
+	return n
+}
+
+// Get returns the chunk covering the given logical time, if resident —
+// the crs_get operation, which involves no communication with the server.
+func (b *TDBuffer) Get(logical sim.Time) (BufferedChunk, bool) {
+	for i := range b.chunks {
+		c := &b.chunks[i]
+		if c.Timestamp <= logical && logical < c.Timestamp+c.Duration {
+			b.GetHits++
+			b.read[c.Index] = true
+			return *c, true
+		}
+		if c.Timestamp > logical {
+			break
+		}
+	}
+	b.GetMisses++
+	return BufferedChunk{}, false
+}
+
+// Peek reports whether a chunk covering the logical time is resident
+// without recording a hit or miss.
+func (b *TDBuffer) Peek(logical sim.Time) bool {
+	for i := range b.chunks {
+		c := &b.chunks[i]
+		if c.Timestamp <= logical && logical < c.Timestamp+c.Duration {
+			return true
+		}
+		if c.Timestamp > logical {
+			return false
+		}
+	}
+	return false
+}
+
+// Reset empties the buffer (used by crs_seek).
+func (b *TDBuffer) Reset() {
+	b.chunks = b.chunks[:0]
+	b.bytes = 0
+	b.read = make(map[int]bool)
+}
+
+// Jitter returns the configured jitter allowance J.
+func (b *TDBuffer) Jitter() sim.Time { return b.jitter }

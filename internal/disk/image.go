@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Image serialization lets tools hand a prepared volume to one another
+// (mkcmfs writes an image, crasplay mounts it). Only explicitly written
+// sectors are stored, so an image of a 2 GB volume holding sparse media
+// files is a few hundred kilobytes of metadata.
+
+const (
+	imageMagic      = 0x434d494d // "CMIM"
+	imageHeaderSize = 76
+)
+
+// SaveImage writes the disk's geometry, timing parameters and stored
+// sectors to w.
+func (d *Disk) SaveImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	hdr := make([]byte, 0, imageHeaderSize)
+	hdr = le.AppendUint32(hdr, imageMagic)
+	hdr = le.AppendUint32(hdr, 1) // version
+	hdr = le.AppendUint32(hdr, uint32(d.geo.Cylinders))
+	hdr = le.AppendUint32(hdr, uint32(d.geo.Heads))
+	hdr = le.AppendUint32(hdr, uint32(d.geo.SectorsPerTrack))
+	hdr = le.AppendUint32(hdr, uint32(d.geo.SectorSize))
+	hdr = le.AppendUint64(hdr, uint64(d.par.RotTime))
+	hdr = le.AppendUint64(hdr, uint64(d.par.CmdOverhead))
+	hdr = le.AppendUint64(hdr, uint64(d.par.SeekBase))
+	hdr = le.AppendUint64(hdr, uint64(d.par.SeekSqrtCoeff))
+	hdr = le.AppendUint32(hdr, uint32(d.par.SeekKnee))
+	hdr = le.AppendUint64(hdr, uint64(d.par.SeekSlope))
+	hdr = le.AppendUint64(hdr, uint64(len(d.sectors)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	// Deterministic order.
+	lbas := make([]int64, 0, len(d.sectors))
+	for lba := range d.sectors {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	var rec [8]byte
+	for _, lba := range lbas {
+		le.PutUint64(rec[:], uint64(lba))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(d.sectors[lba]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadImage reconstructs a disk from an image on a fresh engine.
+func LoadImage(eng *sim.Engine, name string, r io.Reader) (*Disk, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	hdr := make([]byte, imageHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("disk: short image header: %w", err)
+	}
+	if le.Uint32(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("disk: bad image magic")
+	}
+	if le.Uint32(hdr[4:]) != 1 {
+		return nil, fmt.Errorf("disk: unsupported image version %d", le.Uint32(hdr[4:]))
+	}
+	g := Geometry{
+		Cylinders:       int(le.Uint32(hdr[8:])),
+		Heads:           int(le.Uint32(hdr[12:])),
+		SectorsPerTrack: int(le.Uint32(hdr[16:])),
+		SectorSize:      int(le.Uint32(hdr[20:])),
+	}
+	p := Params{
+		RotTime:       sim.Time(le.Uint64(hdr[24:])),
+		CmdOverhead:   sim.Time(le.Uint64(hdr[32:])),
+		SeekBase:      sim.Time(le.Uint64(hdr[40:])),
+		SeekSqrtCoeff: sim.Time(le.Uint64(hdr[48:])),
+		SeekKnee:      int(le.Uint32(hdr[56:])),
+		SeekSlope:     sim.Time(le.Uint64(hdr[60:])),
+	}
+	count := le.Uint64(hdr[68:])
+	d := New(eng, name, g, p)
+	buf := make([]byte, 8+g.SectorSize)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("disk: truncated image at sector %d: %w", i, err)
+		}
+		lba := int64(le.Uint64(buf))
+		sec := make([]byte, g.SectorSize)
+		copy(sec, buf[8:])
+		d.sectors[lba] = sec
+	}
+	return d, nil
+}

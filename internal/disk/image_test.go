@@ -1,0 +1,67 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestImageRoundtrip(t *testing.T) {
+	e, d := testDisk(1)
+	payload := bytes.Repeat([]byte{0x3C}, 512)
+	d.PokeSector(100, payload)
+	d.PokeSector(99999, bytes.Repeat([]byte{0x11}, 512))
+	_ = e
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+
+	e2 := sim.NewEngine(2)
+	d2, err := LoadImage(e2, "sd1", &buf)
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	if d2.Geometry() != d.Geometry() {
+		t.Fatalf("geometry differs: %+v vs %+v", d2.Geometry(), d.Geometry())
+	}
+	if d2.Params() != d.Params() {
+		t.Fatalf("params differ")
+	}
+	if !bytes.Equal(d2.PeekSector(100), payload) {
+		t.Fatal("sector 100 contents lost")
+	}
+	if d2.PeekSector(99999)[0] != 0x11 {
+		t.Fatal("sector 99999 contents lost")
+	}
+	if d2.StoredSectors() != 2 {
+		t.Fatalf("StoredSectors = %d, want 2", d2.StoredSectors())
+	}
+	if d2.PeekSector(5)[0] != 0 {
+		t.Fatal("unwritten sector not zero after load")
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	e := sim.NewEngine(1)
+	if _, err := LoadImage(e, "x", bytes.NewReader([]byte("not an image at all............................................................................"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadImage(e, "x", bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadImageTruncated(t *testing.T) {
+	_, d := testDisk(1)
+	d.PokeSector(7, make([]byte, 512))
+	var buf bytes.Buffer
+	d.SaveImage(&buf)
+	raw := buf.Bytes()
+	e := sim.NewEngine(1)
+	if _, err := LoadImage(e, "x", bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}

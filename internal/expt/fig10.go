@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig10Config parameterizes the scheduling-policy comparison of Figure 10:
+// one 1.5 Mb/s stream retrieved through CRAS while CPU-bound tasks run,
+// under fixed-priority and under round-robin scheduling.
+type Fig10Config struct {
+	Seed     int64
+	Duration sim.Time
+	Hogs     int
+}
+
+func (c *Fig10Config) fill() {
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.Hogs == 0 {
+		c.Hogs = 3
+	}
+}
+
+// Fig10Result carries the two delay traces.
+type Fig10Result struct {
+	Config        Fig10Config
+	FixedPriority metrics.Series
+	RoundRobin    metrics.Series
+	FPLost        int
+	RRLost        int
+}
+
+// RunFig10 regenerates Figure 10.
+func RunFig10(cfg Fig10Config) *Fig10Result {
+	cfg.fill()
+	res := &Fig10Result{Config: cfg}
+	base := PlaybackConfig{
+		Seed: cfg.Seed, Streams: 1, Profile: media.MPEG1(),
+		Duration: cfg.Duration, UseCRAS: true, Hogs: cfg.Hogs,
+		// The player does real per-frame work (fetch, decode dispatch);
+		// the policies differ exactly in how long that work waits for the
+		// CPU behind the hogs.
+		PlayerFrameCPU: 2 * time.Millisecond,
+	}
+	c := base
+	c.Policy = FixedPriority
+	r := RunPlayback(c)
+	res.FixedPriority = r.Players[0].DelaySeries
+	res.FPLost = r.LostFrames()
+
+	c = base
+	c.Policy = RoundRobin
+	r = RunPlayback(c)
+	res.RoundRobin = r.Players[0].DelaySeries
+	res.RRLost = r.LostFrames()
+	return res
+}
+
+// Table renders per-second worst delays plus summary rows.
+func (r *Fig10Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 10: frame delay with %d CPU-bound competitors, fixed-priority vs round-robin", r.Config.Hogs),
+		"second", "fixed-priority max", "round-robin max")
+	bucketMax := func(s *metrics.Series, sec int) float64 {
+		lo, hi := sim.Time(sec)*time.Second, sim.Time(sec+1)*time.Second
+		var max float64
+		for _, p := range s.Points {
+			if p.T >= lo && p.T < hi && p.V > max {
+				max = p.V
+			}
+		}
+		return max
+	}
+	secs := int(r.Config.Duration / time.Second)
+	for sec := 0; sec <= secs+2; sec++ {
+		t.AddRow(sec,
+			fmt.Sprintf("%.1f ms", 1000*bucketMax(&r.FixedPriority, sec)),
+			fmt.Sprintf("%.1f ms", 1000*bucketMax(&r.RoundRobin, sec)))
+	}
+	fp, rr := r.FixedPriority.Summary(), r.RoundRobin.Summary()
+	t.AddRow("mean", fmt.Sprintf("%.1f ms", 1000*fp.Mean), fmt.Sprintf("%.1f ms", 1000*rr.Mean))
+	t.AddRow("max", fmt.Sprintf("%.1f ms", 1000*fp.Max), fmt.Sprintf("%.1f ms", 1000*rr.Max))
+	t.AddRow("lost", r.FPLost, r.RRLost)
+	return t
+}

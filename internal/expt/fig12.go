@@ -1,0 +1,125 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig12Point is one measured seek distance.
+type Fig12Point struct {
+	Distance int // cylinders
+	Measured sim.Time
+	Approx   sim.Time // the linear fit at the same distance
+}
+
+// Fig12Result is the seek-curve measurement and its linear approximation.
+type Fig12Result struct {
+	Points   []Fig12Point
+	Alpha    float64 // seconds per cylinder
+	Beta     float64 // seconds (the fit's Tseek_min)
+	TseekMin sim.Time
+	TseekMax sim.Time
+}
+
+// RunFig12 measures the disk's seek curve the way the paper's
+// microbenchmark did and fits the linear approximation the admission test
+// uses (Appendix C).
+func RunFig12(seed int64) *Fig12Result {
+	e := sim.NewEngine(seed)
+	g, p := disk.ST32550N()
+	d := disk.New(e, "sd0", g, p)
+	params := core.MeasureAdmissionParams(d, 64<<10)
+	res := &Fig12Result{
+		TseekMin: params.TseekMin,
+		TseekMax: params.TseekMax,
+		Alpha:    (params.TseekMax - params.TseekMin).Seconds() / float64(g.Cylinders),
+		Beta:     params.TseekMin.Seconds(),
+	}
+	for _, dist := range []int{1, 2, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3509} {
+		res.Points = append(res.Points, Fig12Point{
+			Distance: dist,
+			Measured: d.ProbeSeek(0, dist),
+			Approx:   sim.Time((res.Beta + res.Alpha*float64(dist)) * float64(time.Second)),
+		})
+	}
+	return res
+}
+
+// Table renders the measured curve next to the approximation.
+func (r *Fig12Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 12: disk seek time (linear fit: Tseek_min=%s, Tseek_max=%s)",
+			metrics.Ms(r.TseekMin), metrics.Ms(r.TseekMax)),
+		"distance (cyl)", "measured", "linear approx")
+	for _, p := range r.Points {
+		t.AddRow(p.Distance, metrics.Ms(p.Measured), metrics.Ms(p.Approx))
+	}
+	return t
+}
+
+// Table4Result is the measured disk parameter set.
+type Table4Result struct {
+	D         float64
+	MeasuredD float64 // from a timed sequential transfer
+	TseekMax  sim.Time
+	TseekMin  sim.Time
+	Trot      sim.Time
+	Tcmd      sim.Time
+	Bother    int64
+}
+
+// RunTable4 measures the parameters of Table 4 against the disk model: the
+// seek fit from the probe, rotation and command overhead from the
+// controller, and the transfer rate from a timed large sequential read.
+func RunTable4(seed int64) *Table4Result {
+	e := sim.NewEngine(seed)
+	g, p := disk.ST32550N()
+	d := disk.New(e, "sd0", g, p)
+	params := core.MeasureAdmissionParams(d, 64<<10)
+
+	// Timed transfer: read 4 MB sequentially in 256 KB requests and divide
+	// out the fixed overheads, as a calibration benchmark would.
+	var elapsed sim.Time
+	e.Spawn("probe", func(pr *sim.Proc) {
+		const reqSectors = 512
+		const reqs = 16
+		start := e.Now()
+		for i := 0; i < reqs; i++ {
+			d.ReadSync(pr, int64(i*reqSectors), reqSectors, false)
+		}
+		elapsed = e.Now() - start
+	})
+	e.Run()
+	st := d.Stats()
+	transferOnly := elapsed - st.CmdTime - st.SeekTime - st.RotTime
+	measuredD := float64(16*512*512) / transferOnly.Seconds()
+
+	return &Table4Result{
+		D:         params.D,
+		MeasuredD: measuredD,
+		TseekMax:  params.TseekMax,
+		TseekMin:  params.TseekMin,
+		Trot:      params.Trot,
+		Tcmd:      params.Tcmd,
+		Bother:    params.Bother,
+	}
+}
+
+// Table renders Table 4.
+func (r *Table4Result) Table() *metrics.Table {
+	t := metrics.NewTable("Table 4: measured disk parameters (paper: 6.5 MB/s, 17 ms, 4 ms, 8.33 ms, 2 ms, 64 KB)",
+		"parameter", "value")
+	t.AddRow("D (model)", metrics.MBps(r.D))
+	t.AddRow("D (timed transfer)", metrics.MBps(r.MeasuredD))
+	t.AddRow("Tseek_max", metrics.Ms(r.TseekMax))
+	t.AddRow("Tseek_min", metrics.Ms(r.TseekMin))
+	t.AddRow("Trot", metrics.Ms(r.Trot))
+	t.AddRow("Tcmd", metrics.Ms(r.Tcmd))
+	t.AddRow("Bother", fmt.Sprintf("%d KB", r.Bother/1024))
+	return t
+}

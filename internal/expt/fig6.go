@@ -1,0 +1,138 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig6Config parameterizes the throughput comparison of Figure 6: N
+// simultaneous 1.5 Mb/s streams through CRAS and through the Unix file
+// system, with and without background disk activity.
+type Fig6Config struct {
+	Seed         int64
+	StreamCounts []int
+	Duration     sim.Time
+	Interval     sim.Time
+	InitialDelay sim.Time
+}
+
+func (c *Fig6Config) fill() {
+	if len(c.StreamCounts) == 0 {
+		c.StreamCounts = []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25}
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Interval == 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.InitialDelay == 0 {
+		c.InitialDelay = time.Second
+	}
+}
+
+// Fig6Point is one x-position of the figure.
+type Fig6Point struct {
+	Streams        int
+	CRASNoLoad     float64 // on-time bytes/second
+	CRASLoad       float64
+	UFSNoLoad      float64
+	UFSLoad        float64
+	CRASLostNoLoad int
+	UFSLostNoLoad  int
+}
+
+// Fig6Result is the full figure.
+type Fig6Result struct {
+	Config    Fig6Config
+	Points    []Fig6Point
+	MediaRate float64
+}
+
+// RunFig6 regenerates Figure 6.
+func RunFig6(cfg Fig6Config) *Fig6Result {
+	cfg.fill()
+	res := &Fig6Result{Config: cfg}
+	for _, n := range cfg.StreamCounts {
+		pt := Fig6Point{Streams: n}
+		base := PlaybackConfig{
+			Seed: cfg.Seed, Streams: n, Profile: media.MPEG1(),
+			Duration: cfg.Duration, Interval: cfg.Interval,
+			InitialDelay: cfg.InitialDelay, Force: true,
+		}
+
+		c := base
+		c.UseCRAS = true
+		r := RunPlayback(c)
+		pt.CRASNoLoad = r.OnTimeThroughput()
+		pt.CRASLostNoLoad = r.LostFrames()
+		res.MediaRate = r.MediaRate
+
+		c = base
+		c.UseCRAS = true
+		c.Load = true
+		pt.CRASLoad = RunPlayback(c).OnTimeThroughput()
+
+		c = base
+		r = RunPlayback(c)
+		pt.UFSNoLoad = r.OnTimeThroughput()
+		pt.UFSLostNoLoad = r.LostFrames()
+
+		c = base
+		c.Load = true
+		pt.UFSLoad = RunPlayback(c).OnTimeThroughput()
+
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Table renders the figure's series as rows.
+func (r *Fig6Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 6: CRAS vs UFS throughput (on-time bytes/s; 1.5 Mb/s streams, T=%v, delay=%v, disk %.2f MB/s)",
+			r.Config.Interval, r.Config.InitialDelay, r.MediaRate/1e6),
+		"streams", "CRAS:no-load", "CRAS:load", "UFS:no-load", "UFS:load", "CRAS %disk", "UFS %disk")
+	for _, p := range r.Points {
+		t.AddRow(p.Streams,
+			metrics.MBps(p.CRASNoLoad), metrics.MBps(p.CRASLoad),
+			metrics.MBps(p.UFSNoLoad), metrics.MBps(p.UFSLoad),
+			fmt.Sprintf("%.0f%%", 100*p.CRASNoLoad/r.MediaRate),
+			fmt.Sprintf("%.0f%%", 100*p.UFSNoLoad/r.MediaRate))
+	}
+	return t
+}
+
+// PeakCRASFraction returns the best CRAS no-load throughput as a fraction
+// of the disk rate — the paper's "55% of the disk's maximum transfer rate"
+// claim at a 1 s initial delay (70% at 3 s).
+func (r *Fig6Result) PeakCRASFraction() float64 {
+	var peak float64
+	for _, p := range r.Points {
+		if p.CRASNoLoad > peak {
+			peak = p.CRASNoLoad
+		}
+	}
+	if r.MediaRate == 0 {
+		return 0
+	}
+	return peak / r.MediaRate
+}
+
+// UFSCollapseUnderLoad reports the largest stream count at which the UFS
+// load curve still delivered at least half its offered rate — the paper
+// found it "cannot support even one stream" with competing traffic.
+func (r *Fig6Result) UFSCollapseUnderLoad() int {
+	last := 0
+	for _, p := range r.Points {
+		offered := float64(p.Streams) * 187500
+		if p.UFSLoad >= offered/2 {
+			last = p.Streams
+		}
+	}
+	return last
+}

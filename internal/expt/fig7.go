@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig7Config parameterizes the delay-trace comparison of Figure 7: one
+// video stream retrieved while other activities access the same disk,
+// measuring each frame's delay over time for CRAS and for UFS.
+type Fig7Config struct {
+	Seed     int64
+	Duration sim.Time
+}
+
+func (c *Fig7Config) fill() {
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+}
+
+// Fig7Result carries both delay traces.
+type Fig7Result struct {
+	Config Fig7Config
+	CRAS   metrics.Series // (real time, delay seconds)
+	UFS    metrics.Series
+}
+
+// RunFig7 regenerates Figure 7.
+func RunFig7(cfg Fig7Config) *Fig7Result {
+	cfg.fill()
+	res := &Fig7Result{Config: cfg}
+	base := PlaybackConfig{
+		Seed: cfg.Seed, Streams: 1, Profile: media.MPEG1(),
+		Duration: cfg.Duration, Load: true,
+	}
+	c := base
+	c.UseCRAS = true
+	res.CRAS = RunPlayback(c).Players[0].DelaySeries
+	c = base
+	res.UFS = RunPlayback(c).Players[0].DelaySeries
+	return res
+}
+
+// Table renders one row per second of playback with the worst frame delay
+// observed in that second, plus distribution summaries.
+func (r *Fig7Result) Table() *metrics.Table {
+	t := metrics.NewTable("Figure 7: per-frame delay over time, one 1.5 Mb/s stream under disk load",
+		"second", "CRAS max delay", "UFS max delay")
+	bucketMax := func(s *metrics.Series, sec int) float64 {
+		lo, hi := sim.Time(sec)*time.Second, sim.Time(sec+1)*time.Second
+		var max float64
+		for _, p := range s.Points {
+			if p.T >= lo && p.T < hi && p.V > max {
+				max = p.V
+			}
+		}
+		return max
+	}
+	seconds := int(r.Config.Duration / time.Second)
+	for sec := 0; sec <= seconds+2; sec++ {
+		t.AddRow(sec,
+			fmt.Sprintf("%.1f ms", 1000*bucketMax(&r.CRAS, sec)),
+			fmt.Sprintf("%.1f ms", 1000*bucketMax(&r.UFS, sec)))
+	}
+	return t
+}
+
+// Summary returns both distributions for the shape check: UFS jitter must
+// dwarf CRAS jitter at equal throughput.
+func (r *Fig7Result) Summary() (cras, ufsSum metrics.Summary) {
+	return r.CRAS.Summary(), r.UFS.Summary()
+}

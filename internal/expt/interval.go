@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// IntervalPoint is one interval-time setting's outcome.
+type IntervalPoint struct {
+	Interval     sim.Time
+	AdmittedMax  int      // streams the admission test accepts
+	BufferNeeded int64    // B_total at that capacity
+	MinDelay     sim.Time // 2T, the smallest initial delay the pipeline needs
+	VerifiedLost int      // lost frames in a measured run at the admitted max
+}
+
+// IntervalResult quantifies Section 2.2's tradeoff: "The interval time is
+// determined by a tradeoff between the maximum number of streams supported
+// by CRAS and the initial delay of the output streams." Longer intervals
+// amortize per-interval overheads over more data (more streams admitted)
+// but cost proportionally more buffer memory and startup delay.
+type IntervalResult struct {
+	Profile media.CBRProfile
+	Points  []IntervalPoint
+}
+
+// RunIntervalSweep computes the admitted capacity at several interval
+// times and verifies each capacity with a measured run.
+func RunIntervalSweep(seed int64, intervals []sim.Time, verifySeconds sim.Time) *IntervalResult {
+	if len(intervals) == 0 {
+		intervals = []sim.Time{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second}
+	}
+	if verifySeconds == 0 {
+		verifySeconds = 10 * time.Second
+	}
+	profile := media.MPEG1()
+	res := &IntervalResult{Profile: profile}
+
+	// Admission parameters come from the standard disk.
+	eng := sim.NewEngine(seed)
+	g, p := disk.ST32550N()
+	d := disk.New(eng, "probe", g, p)
+	params := core.MeasureAdmissionParams(d, 64<<10)
+
+	sp := core.StreamParams{Rate: profile.Rate, Chunk: int64(profile.Rate / float64(profile.FrameRate))}
+	for _, t := range intervals {
+		max := params.MaxStreams(t, 1<<30, sp)
+		set := make([]core.StreamParams, max)
+		for i := range set {
+			set[i] = sp
+		}
+		pt := IntervalPoint{
+			Interval:     t,
+			AdmittedMax:  max,
+			BufferNeeded: core.TotalBuffer(t, set),
+			MinDelay:     2 * t,
+		}
+		if max > 0 {
+			r := RunPlayback(PlaybackConfig{
+				Seed: seed, Streams: max, Profile: profile,
+				Duration: verifySeconds, UseCRAS: true,
+				Interval: t, InitialDelay: 2 * t,
+			})
+			pt.VerifiedLost = r.LostFrames()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Table renders the tradeoff.
+func (r *IntervalResult) Table() *metrics.Table {
+	t := metrics.NewTable("Interval-time tradeoff (Section 2.2): capacity vs delay and memory, 1.5 Mb/s streams",
+		"interval T", "admitted streams", "B_total", "min initial delay", "startup losses at capacity")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%v", p.Interval), p.AdmittedMax,
+			fmt.Sprintf("%d KB", p.BufferNeeded/1024),
+			fmt.Sprintf("%v", p.MinDelay), p.VerifiedLost)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+// Package lab assembles complete simulated machines — disk, file system,
+// Unix server, kernel, CRAS — for the experiment harness, the examples and
+// the integration tests. It encapsulates the boot sequence the paper's
+// testbed implied: format the disk, lay out the movie files contiguously,
+// start the Unix server, start CRAS with parameters measured from the
+// disk, then hand control to the workload.
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// Movie is a stream to store during setup.
+type Movie struct {
+	Path string
+	Info *media.StreamInfo
+}
+
+// Setup configures a machine build.
+type Setup struct {
+	Seed int64
+
+	// DiskCylinders shrinks the disk for fast tests; 0 keeps the full
+	// ST32550N geometry.
+	DiskCylinders int
+	DiskHeads     int
+
+	FSOpts ufs.Options
+	CRAS   core.Config
+
+	// UnixPrio/UnixQuantum place the Unix server thread; defaults are the
+	// timesharing band with no quantum.
+	UnixPrio    int
+	UnixQuantum sim.Time
+
+	Movies []Movie
+
+	// Containers are QuickTime-style multi-track movies to store during
+	// setup; the rebased per-track chunk tables land in Machine.Tracks.
+	Containers []*media.Container
+
+	// NoCRAS skips starting the CRAS server (UFS-only baselines).
+	NoCRAS bool
+}
+
+// Machine is a booted simulated machine.
+type Machine struct {
+	Eng    *sim.Engine
+	Kernel *rtm.Kernel
+	Disk   *disk.Disk
+	FS     *ufs.FileSystem
+	Unix   *ufs.Server
+	CRAS   *core.Server
+
+	// Tracks holds the rebased chunk tables of stored containers, keyed by
+	// container name (path).
+	Tracks map[string][]*media.StreamInfo
+
+	setupErr error
+}
+
+// Build constructs the machine. Setup (mkfs, movie layout, server start)
+// happens in simulated time; once it completes, ready is invoked from
+// engine context to spawn the workload. The caller then drives the engine
+// (m.Run / m.Eng.RunUntil).
+func Build(s Setup, ready func(m *Machine)) *Machine {
+	e := sim.NewEngine(s.Seed)
+	g, p := disk.ST32550N()
+	if s.DiskCylinders > 0 {
+		g.Cylinders = s.DiskCylinders
+	}
+	if s.DiskHeads > 0 {
+		g.Heads = s.DiskHeads
+	}
+	d := disk.New(e, "sd0", g, p)
+	m := &Machine{Eng: e, Disk: d}
+	if _, err := ufs.Format(d, s.FSOpts); err != nil {
+		m.setupErr = err
+		return m
+	}
+	e.Spawn("lab.setup", func(pr *sim.Proc) {
+		fs, err := ufs.Mount(pr, d, s.FSOpts)
+		if err != nil {
+			m.setupErr = fmt.Errorf("lab: mount: %w", err)
+			return
+		}
+		m.FS = fs
+		for _, mv := range s.Movies {
+			if dir := parentDir(mv.Path); dir != "" {
+				if err := fs.MkdirAll(pr, dir); err != nil {
+					m.setupErr = fmt.Errorf("lab: mkdir %s: %w", dir, err)
+					return
+				}
+			}
+			if err := media.Store(pr, fs, mv.Path, mv.Info); err != nil {
+				m.setupErr = fmt.Errorf("lab: store %s: %w", mv.Path, err)
+				return
+			}
+		}
+		m.Tracks = make(map[string][]*media.StreamInfo)
+		for _, c := range s.Containers {
+			if dir := parentDir(c.Name); dir != "" {
+				if err := fs.MkdirAll(pr, dir); err != nil {
+					m.setupErr = fmt.Errorf("lab: mkdir %s: %w", dir, err)
+					return
+				}
+			}
+			tracks, err := media.StoreContainer(pr, fs, c.Name, c)
+			if err != nil {
+				m.setupErr = fmt.Errorf("lab: store container %s: %w", c.Name, err)
+				return
+			}
+			m.Tracks[c.Name] = tracks
+		}
+		fs.Sync(pr)
+
+		m.Kernel = rtm.NewKernel(e)
+		unixPrio := s.UnixPrio
+		if unixPrio == 0 {
+			unixPrio = rtm.PrioTS
+		}
+		m.Unix = ufs.NewServer(m.Kernel, fs, unixPrio, s.UnixQuantum)
+		if !s.NoCRAS {
+			cfg := s.CRAS
+			if cfg.Params.D == 0 {
+				cfg.Params = core.MeasureAdmissionParams(d, 64<<10)
+			}
+			m.CRAS = core.NewServer(m.Kernel, d, m.Unix, cfg)
+		}
+		ready(m)
+	})
+	return m
+}
+
+// Err returns the setup error, if any. Check after the engine has run far
+// enough for setup to complete.
+func (m *Machine) Err() error { return m.setupErr }
+
+// Run advances the simulation by d.
+func (m *Machine) Run(d sim.Time) {
+	m.Eng.RunFor(d)
+	if m.setupErr != nil {
+		panic(m.setupErr)
+	}
+}
+
+// parentDir returns the directory part of a path ("" for root-level files).
+func parentDir(path string) string {
+	idx := -1
+	for i, c := range path {
+		if c == '/' {
+			idx = i
+		}
+	}
+	if idx <= 0 {
+		return ""
+	}
+	return path[:idx]
+}
+
+// App spawns an application thread at the default application priority.
+func (m *Machine) App(name string, prio int, quantum sim.Time, body func(th *rtm.Thread)) *rtm.Thread {
+	return m.Kernel.NewThread(name, prio, quantum, body)
+}

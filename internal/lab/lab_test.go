@@ -1,0 +1,117 @@
+package lab
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+func TestBuildBootsCompleteMachine(t *testing.T) {
+	movie := media.MPEG1().Generate("/dir/sub/clip", 2*time.Second)
+	var sawReady bool
+	m := Build(Setup{
+		Seed:          3,
+		DiskCylinders: 400,
+		Movies:        []Movie{{Path: "/dir/sub/clip", Info: movie}},
+	}, func(m *Machine) {
+		sawReady = true
+		if m.Kernel == nil || m.Unix == nil || m.CRAS == nil || m.FS == nil {
+			t.Error("machine incomplete at ready time")
+		}
+	})
+	m.Run(2 * time.Second)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawReady {
+		t.Fatal("ready callback never ran")
+	}
+	// The movie and its control file landed, in nested directories.
+	m.App("checker", rtm.PrioTS, 0, func(th *rtm.Thread) {
+		c := ufs.NewClient(m.Unix, th)
+		st, err := c.Stat("/dir/sub/clip")
+		if err != nil || st.Size != movie.TotalSize() {
+			t.Errorf("movie stat = %+v, %v", st, err)
+		}
+		if _, err := c.Stat("/dir/sub/clip.ctl"); err != nil {
+			t.Errorf("control file missing: %v", err)
+		}
+	})
+	m.Run(2 * time.Second)
+}
+
+func TestBuildNoCRAS(t *testing.T) {
+	m := Build(Setup{Seed: 1, DiskCylinders: 400, NoCRAS: true}, func(m *Machine) {
+		if m.CRAS != nil {
+			t.Error("CRAS started despite NoCRAS")
+		}
+		if m.Unix == nil {
+			t.Error("Unix server missing")
+		}
+	})
+	m.Run(time.Second)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildReportsStoreErrors(t *testing.T) {
+	// Movie bigger than the (tiny) disk: setup must fail, not wedge.
+	movie := media.MPEG2().Generate("/huge", 200*time.Second)
+	m := Build(Setup{
+		Seed: 1, DiskCylinders: 30, DiskHeads: 2,
+		Movies: []Movie{{Path: "/huge", Info: movie}},
+	}, func(m *Machine) {
+		t.Error("ready ran despite setup failure")
+	})
+	m.Eng.RunUntil(time.Minute)
+	if m.Err() == nil {
+		t.Fatal("no setup error reported")
+	}
+}
+
+func TestParentDir(t *testing.T) {
+	cases := map[string]string{
+		"/a":      "",
+		"/a/b":    "/a",
+		"/a/b/c":  "/a/b",
+		"noslash": "",
+		"/":       "",
+	}
+	for in, want := range cases {
+		if got := parentDir(in); got != want {
+			t.Errorf("parentDir(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunPanicsOnSetupError(t *testing.T) {
+	movie := media.MPEG2().Generate("/huge", 200*time.Second)
+	m := Build(Setup{
+		Seed: 1, DiskCylinders: 30, DiskHeads: 2,
+		Movies: []Movie{{Path: "/huge", Info: movie}},
+	}, func(m *Machine) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not surface the setup error")
+		}
+	}()
+	m.Run(time.Minute)
+}
+
+func TestDeterministicBoot(t *testing.T) {
+	boot := func() sim.Time {
+		movie := media.MPEG1().Generate("/m", time.Second)
+		m := Build(Setup{Seed: 9, DiskCylinders: 400,
+			Movies: []Movie{{Path: "/m", Info: movie}}}, func(m *Machine) {})
+		m.Run(5 * time.Second)
+		return m.Eng.Now()
+	}
+	if boot() != boot() {
+		t.Fatal("boots diverged")
+	}
+}

@@ -1,0 +1,69 @@
+package media
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// ControlPath returns the conventional control-file name for a media file.
+func ControlPath(moviePath string) string { return moviePath + ".ctl" }
+
+// Store lays a movie out on the file system: the media file is
+// preallocated (its blocks placed, payloads sparse — the experiments do not
+// need pixel bytes) and the chunk table is written to the control file.
+// Must run in a simulation process; carries real disk-time cost.
+func Store(p *sim.Proc, fs *ufs.FileSystem, path string, s *StreamInfo) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	mf, err := fs.Create(p, path)
+	if err != nil {
+		return fmt.Errorf("media: create %s: %w", path, err)
+	}
+	if err := mf.Preallocate(p, s.TotalSize()); err != nil {
+		return fmt.Errorf("media: preallocate %s: %w", path, err)
+	}
+	cf, err := fs.Create(p, ControlPath(path))
+	if err != nil {
+		return fmt.Errorf("media: create control: %w", err)
+	}
+	if _, err := cf.WriteAt(p, EncodeControl(s), 0); err != nil {
+		return fmt.Errorf("media: write control: %w", err)
+	}
+	return nil
+}
+
+// Load reads a movie's chunk table back through the Unix server client —
+// the path an application takes before handing the table to CRAS. The
+// movie name is the media path.
+func Load(c *ufs.Client, path string) (*StreamInfo, error) {
+	st, err := c.Stat(ControlPath(path))
+	if err != nil {
+		return nil, err
+	}
+	fd, err := c.Open(ControlPath(path))
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close(fd)
+	data, err := c.Read(fd, 0, int(st.Size))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeControl(path, data)
+}
+
+// LoadFS reads a chunk table directly from the file system (tooling path).
+func LoadFS(p *sim.Proc, fs *ufs.FileSystem, path string) (*StreamInfo, error) {
+	f, err := fs.Open(p, ControlPath(path))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, f.Size(p))
+	if _, err := f.ReadAt(p, buf, 0); err != nil {
+		return nil, err
+	}
+	return DecodeControl(path, buf)
+}

@@ -1,0 +1,155 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness uses: time series of (time, value) samples, distribution
+// summaries, and plain-text table rendering for regenerating the paper's
+// figures as rows and columns.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) { s.Points = append(s.Points, Point{T: t, V: v}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns the sample values in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Summary describes a sample distribution.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Std     float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary of the values. An empty input yields a zero
+// Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	for _, v := range sorted {
+		sq += (v - mean) * (v - mean)
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: mean,
+		Std:  math.Sqrt(sq / float64(len(sorted))),
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+	}
+}
+
+// SummarizeSeries summarizes a series' values.
+func (s *Series) Summary() Summary { return Summarize(s.Values()) }
+
+// Table renders aligned plain-text tables, the medium in which the harness
+// reports each figure's rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MBps formats a bytes-per-second value as MB/s.
+func MBps(v float64) string { return fmt.Sprintf("%.2f MB/s", v/1e6) }
+
+// Ms formats a duration in milliseconds with two decimals.
+func Ms(d sim.Time) string { return fmt.Sprintf("%.2f ms", float64(d)/1e6) }

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %f", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %f", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizePercentilesSorted(t *testing.T) {
+	var vals []float64
+	for i := 100; i >= 1; i-- {
+		vals = append(vals, float64(i))
+	}
+	s := Summarize(vals)
+	if s.P95 < s.P50 || s.P99 < s.P95 || s.Max < s.P99 {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Fatalf("p99 = %f", s.P99)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1.5)
+	s.Add(2*time.Second, 2.5)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	v := s.Values()
+	if v[0] != 1.5 || v[1] != 2.5 {
+		t.Fatalf("values = %v", v)
+	}
+	if s.Summary().Mean != 2 {
+		t.Fatalf("series mean = %f", s.Summary().Mean)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "streams", "throughput", "note")
+	tb.AddRow(1, 1.23456, "ok")
+	tb.AddRow(25, 99.9, "long-note-value")
+	out := tb.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "streams") || !strings.Contains(out, "long-note-value") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+	if !strings.Contains(out, "1.23") {
+		t.Fatal("float not formatted with two decimals")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if MBps(6.5e6) != "6.50 MB/s" {
+		t.Fatalf("MBps = %q", MBps(6.5e6))
+	}
+	if Ms(sim.Time(8330*time.Microsecond)) != "8.33 ms" {
+		t.Fatalf("Ms = %q", Ms(sim.Time(8330*time.Microsecond)))
+	}
+}

@@ -1,0 +1,205 @@
+package rtm
+
+import "repro/internal/sim"
+
+// Port is a Mach-style message queue: sends never block, receives block the
+// calling thread until a message arrives. Sends are legal from interrupt
+// context (plain sim events), which is how device completion reaches the
+// I/O-done manager thread.
+type Port struct {
+	name    string
+	msgs    []any
+	waiters []*Thread
+}
+
+// NewPort returns an empty port.
+func (k *Kernel) NewPort(name string) *Port { return &Port{name: name} }
+
+// Name returns the port name.
+func (p *Port) Name() string { return p.name }
+
+// Send enqueues a message and wakes the longest-waiting receiver, if any.
+func (p *Port) Send(msg any) {
+	p.msgs = append(p.msgs, msg)
+	if len(p.waiters) > 0 {
+		t := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		t.wake()
+	}
+}
+
+// Receive dequeues the oldest message, blocking the calling thread while the
+// port is empty.
+func (p *Port) Receive(t *Thread) any {
+	for len(p.msgs) == 0 {
+		p.waiters = append(p.waiters, t)
+		t.block("port:" + p.name)
+	}
+	m := p.msgs[0]
+	p.msgs[0] = nil
+	p.msgs = p.msgs[1:]
+	return m
+}
+
+// TryReceive dequeues a message without blocking; ok reports availability.
+func (p *Port) TryReceive() (msg any, ok bool) {
+	if len(p.msgs) == 0 {
+		return nil, false
+	}
+	m := p.msgs[0]
+	p.msgs[0] = nil
+	p.msgs = p.msgs[1:]
+	return m, true
+}
+
+// Len returns the number of queued messages.
+func (p *Port) Len() int { return len(p.msgs) }
+
+// rpcEnvelope carries a request and its reply port through a server port.
+type rpcEnvelope struct {
+	req   any
+	reply *Port
+}
+
+// Call performs a synchronous RPC: it sends req to the server port together
+// with a private reply port and blocks until the reply arrives. This is the
+// shape of every client interaction with the Unix server and with CRAS's
+// request manager.
+func (p *Port) Call(t *Thread, req any) any {
+	reply := &Port{name: p.name + ".reply"}
+	p.Send(rpcEnvelope{req: req, reply: reply})
+	return reply.Receive(t)
+}
+
+// ReceiveCall dequeues a request sent with Call, returning the request and a
+// function that delivers the reply.
+func (p *Port) ReceiveCall(t *Thread) (req any, reply func(resp any)) {
+	for {
+		m := p.Receive(t)
+		if env, ok := m.(rpcEnvelope); ok {
+			return env.req, func(resp any) { env.reply.Send(resp) }
+		}
+		// Plain messages are not expected on an RPC port; drop them.
+	}
+}
+
+// Mutex is a blocking lock with optional priority inheritance. Without
+// inheritance it exhibits the classic unbounded priority inversion that
+// Real-Time Mach's integrated protocols were built to avoid. Inheritance
+// is transitive: boosting a holder that is itself blocked on another
+// inheriting mutex re-boosts that mutex's holder, all the way down the
+// chain.
+type Mutex struct {
+	name    string
+	inherit bool
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewMutex returns an unlocked mutex. inherit enables priority inheritance.
+func (k *Kernel) NewMutex(name string, inherit bool) *Mutex {
+	return &Mutex{name: name, inherit: inherit}
+}
+
+// boostChain raises the holder's priority and follows the blocking chain.
+func (m *Mutex) boostChain(prio int) {
+	for cur := m; cur != nil && cur.inherit && cur.owner != nil; {
+		if prio <= cur.owner.EffectivePriority() {
+			return
+		}
+		owner := cur.owner
+		owner.setBoost(prio)
+		cur = owner.blockedOn
+	}
+}
+
+// Lock acquires the mutex, blocking the calling thread while it is held.
+func (m *Mutex) Lock(t *Thread) {
+	for m.owner != nil {
+		m.waiters = append(m.waiters, t)
+		if m.inherit {
+			m.boostChain(t.EffectivePriority())
+		}
+		t.blockedOn = m
+		t.block("mutex:" + m.name)
+		t.blockedOn = nil
+	}
+	m.owner = t
+}
+
+// Unlock releases the mutex and hands it to the highest-priority waiter.
+// Only the owner may unlock.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		panic("rtm: unlock of mutex not held by caller")
+	}
+	m.owner = nil
+	if m.inherit {
+		t.setBoost(0)
+	}
+	if len(m.waiters) == 0 {
+		return
+	}
+	// Wake the highest-priority waiter (FIFO among equals).
+	best := 0
+	for i, w := range m.waiters {
+		if w.EffectivePriority() > m.waiters[best].EffectivePriority() {
+			best = i
+		}
+	}
+	next := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	next.wake()
+}
+
+// Owner returns the current holder, or nil.
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// DeadlineMiss is the message a periodic thread posts to its deadline port
+// when a cycle overruns.
+type DeadlineMiss struct {
+	Thread *Thread
+	Cycle  int
+	LateBy sim.Time
+}
+
+// PeriodicConfig describes a periodic thread in the style of Real-Time
+// Mach's rt_thread_create: a release every Period starting at Offset, an
+// optional relative Deadline, and an optional port notified on misses.
+type PeriodicConfig struct {
+	Name         string
+	Priority     int
+	Quantum      sim.Time // 0 = fixed-priority, >0 = round-robin
+	Period       sim.Time
+	Offset       sim.Time
+	Deadline     sim.Time // relative to each release; 0 = none
+	DeadlinePort *Port    // receives DeadlineMiss messages; may be nil
+}
+
+// NewPeriodicThread starts a thread that runs body once per period. body
+// returns false to terminate the thread. If a cycle overruns its period the
+// next release is the first period boundary after completion (releases are
+// skipped, not queued), matching the paper's request-scheduler behaviour of
+// resynchronizing after a missed deadline.
+func (k *Kernel) NewPeriodicThread(cfg PeriodicConfig, body func(t *Thread, cycle int) bool) *Thread {
+	return k.NewThread(cfg.Name, cfg.Priority, cfg.Quantum, func(t *Thread) {
+		release := cfg.Offset
+		for cycle := 0; ; cycle++ {
+			if k.Now() < release {
+				t.SleepUntil(release)
+			}
+			if !body(t, cycle) {
+				return
+			}
+			if cfg.Deadline > 0 && k.Now() > release+cfg.Deadline {
+				if cfg.DeadlinePort != nil {
+					cfg.DeadlinePort.Send(DeadlineMiss{Thread: t, Cycle: cycle, LateBy: k.Now() - (release + cfg.Deadline)})
+				}
+			}
+			release += cfg.Period
+			for release < k.Now() { // resynchronize after an overrun
+				release += cfg.Period
+			}
+		}
+	})
+}

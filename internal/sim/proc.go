@@ -1,0 +1,119 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated sequential process: a goroutine whose execution is
+// interleaved deterministically with the engine's events. At most one
+// process (or event callback) runs at a time; a process gives up control
+// only at explicit blocking points (Sleep, Block, Queue.Get, ...).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+
+	// blocked is non-nil while the process is parked in Block, and is the
+	// timer used to wake it (nil timer means waiting for Unblock).
+	blockedReason string
+	wakePending   bool
+}
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Dead reports whether the process body has returned.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Spawn starts a new process whose body begins executing at the current
+// virtual time (after already-scheduled events for this instant).
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.At(e.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.procPanic = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				}
+				p.dead = true
+				e.live--
+				e.park <- struct{}{} // hand control back for good
+			}()
+			<-p.resume // wait for first dispatch
+			body(p)
+		}()
+		p.run()
+	})
+	return p
+}
+
+// run transfers control from the engine (or whichever context is executing)
+// to the process goroutine and waits for it to yield.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.eng.park
+}
+
+// yield transfers control from the process goroutine back to the engine and
+// waits to be resumed.
+func (p *Proc) yield() {
+	p.eng.park <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.eng.After(d, func() { p.run() })
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute virtual time t. If t is in
+// the past it panics, except that t == now is a simple yield to other work
+// scheduled for this instant.
+func (p *Proc) SleepUntil(t Time) {
+	p.eng.At(t, func() { p.run() })
+	p.yield()
+}
+
+// Block parks the process until another event calls Unblock. The reason is
+// reported by BlockedReason for debugging. If Unblock was already called
+// since the last Block (a "wake pending" token), Block consumes the token
+// and returns immediately; this closes the lost-wakeup race between a
+// process deciding to block and the event that would wake it.
+func (p *Proc) Block(reason string) {
+	if p.wakePending {
+		p.wakePending = false
+		return
+	}
+	p.blockedReason = reason
+	p.yield()
+	p.blockedReason = ""
+}
+
+// Unblock makes a process blocked in Block runnable at the current virtual
+// time. If the process is not currently blocked, a single wakeup token is
+// recorded and consumed by its next Block. Unblock must be called from
+// engine context (an event callback or another process), never from the
+// blocked process itself.
+func (p *Proc) Unblock() {
+	if p.dead {
+		return
+	}
+	if p.blockedReason == "" {
+		p.wakePending = true
+		return
+	}
+	p.blockedReason = ""
+	p.eng.At(p.eng.now, func() {
+		if !p.dead {
+			p.run()
+		}
+	})
+}
+
+// BlockedReason returns the reason string passed to Block if the process is
+// currently parked there, and "" otherwise.
+func (p *Proc) BlockedReason() string { return p.blockedReason }

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(ms(25))
+		wake = e.Now()
+	})
+	e.Run()
+	if wake != ms(25) {
+		t.Fatalf("woke at %v, want 25ms", wake)
+	}
+}
+
+func TestProcSequentialSemantics(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Sleep(ms(10))
+		trace = append(trace, "a2")
+		p.Sleep(ms(10))
+		trace = append(trace, "a3")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b1")
+		p.Sleep(ms(15))
+		trace = append(trace, "b2")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2", "b2", "a3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcBlockUnblock(t *testing.T) {
+	e := NewEngine(1)
+	var resumedAt Time
+	p := e.Spawn("worker", func(p *Proc) {
+		p.Block("waiting for signal")
+		resumedAt = e.Now()
+	})
+	e.At(ms(40), func() { p.Unblock() })
+	e.Run()
+	if resumedAt != ms(40) {
+		t.Fatalf("resumed at %v, want 40ms", resumedAt)
+	}
+}
+
+func TestProcUnblockBeforeBlockIsNotLost(t *testing.T) {
+	e := NewEngine(1)
+	done := false
+	var p *Proc
+	p = e.Spawn("late-blocker", func(pp *Proc) {
+		pp.Sleep(ms(10)) // the wakeup arrives while we sleep
+		pp.Block("should consume pending token")
+		done = true
+	})
+	e.At(ms(5), func() { p.Unblock() })
+	e.RunUntil(ms(100))
+	if !done {
+		t.Fatal("pending wakeup token was lost; process still blocked")
+	}
+}
+
+func TestProcBlockedReason(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("w", func(p *Proc) { p.Block("io") })
+	e.At(ms(1), func() {
+		if got := p.BlockedReason(); got != "io" {
+			t.Errorf("BlockedReason = %q, want io", got)
+		}
+	})
+	e.RunUntil(ms(2))
+}
+
+func TestProcDeadAfterReturn(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("short", func(p *Proc) {})
+	e.Run()
+	if !p.Dead() {
+		t.Fatal("process should be dead after body returns")
+	}
+	p.Unblock() // must be a no-op, not a hang or panic
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("bomb", func(p *Proc) { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("process panic did not propagate to Run")
+		}
+	}()
+	e.Run()
+}
+
+func TestSleepUntil(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Spawn("s", func(p *Proc) {
+		p.SleepUntil(ms(30))
+		at = e.Now()
+	})
+	e.Run()
+	if at != ms(30) {
+		t.Fatalf("woke at %v, want 30ms", at)
+	}
+}
+
+func TestWaiterFIFO(t *testing.T) {
+	e := NewEngine(1)
+	w := NewWaiter("q")
+	var order []string
+	mk := func(name string) {
+		e.Spawn(name, func(p *Proc) {
+			w.Wait(p)
+			order = append(order, name)
+		})
+	}
+	mk("first")
+	mk("second")
+	mk("third")
+	e.At(ms(10), func() { w.WakeOne() })
+	e.At(ms(20), func() { w.WakeAll() })
+	e.Run()
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("wake order = %v", order)
+	}
+}
+
+func TestWaiterWakeOneOnEmpty(t *testing.T) {
+	w := NewWaiter("empty")
+	if w.WakeOne() {
+		t.Fatal("WakeOne on empty waiter reported true")
+	}
+	if n := w.WakeAll(); n != 0 {
+		t.Fatalf("WakeAll on empty waiter = %d", n)
+	}
+}
+
+func TestWaiterRemove(t *testing.T) {
+	e := NewEngine(1)
+	w := NewWaiter("q")
+	woken := false
+	p := e.Spawn("victim", func(p *Proc) {
+		w.Wait(p)
+		woken = true
+	})
+	e.At(ms(5), func() {
+		if !w.Remove(p) {
+			t.Error("Remove did not find the waiting process")
+		}
+		if w.Remove(p) {
+			t.Error("second Remove should report false")
+		}
+		w.WakeAll()
+	})
+	e.RunUntil(ms(50))
+	if woken {
+		t.Fatal("removed process was woken by WakeAll")
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int]("ints")
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.At(ms(10), func() { q.Put(1) })
+	e.At(ms(20), func() { q.Put(2); q.Put(3) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueGetBeforePut(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[string]("s")
+	var at Time
+	e.Spawn("c", func(p *Proc) {
+		if v := q.Get(p); v != "hello" {
+			t.Errorf("Get = %q", v)
+		}
+		at = e.Now()
+	})
+	e.At(ms(33), func() { q.Put("hello") })
+	e.Run()
+	if at != ms(33) {
+		t.Fatalf("consumer resumed at %v, want 33ms", at)
+	}
+}
+
+func TestQueueTryGetAndDrain(t *testing.T) {
+	q := NewQueue[int]("t")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue reported ok")
+	}
+	q.Put(1)
+	q.Put(2)
+	if v, ok := q.TryGet(); !ok || v != 1 {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+	q.Put(3)
+	got := q.Drain()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestQueueMultipleConsumersFIFO(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int]("fair")
+	var winners []string
+	consumer := func(name string) {
+		e.Spawn(name, func(p *Proc) {
+			q.Get(p)
+			winners = append(winners, name)
+		})
+	}
+	consumer("c1")
+	consumer("c2")
+	e.At(ms(10), func() { q.Put(100) })
+	e.At(ms(20), func() { q.Put(200) })
+	e.Run()
+	if len(winners) != 2 || winners[0] != "c1" || winners[1] != "c2" {
+		t.Fatalf("winners = %v, want [c1 c2]", winners)
+	}
+}
+
+func TestManyProcsNoGoroutineDeadlock(t *testing.T) {
+	e := NewEngine(1)
+	total := 0
+	for i := 0; i < 200; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(time.Millisecond)
+			}
+			total++
+		})
+	}
+	e.Run()
+	if total != 200 {
+		t.Fatalf("completed %d procs, want 200", total)
+	}
+}

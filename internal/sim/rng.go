@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG is a named, deterministic random stream derived from the engine seed.
+// Distinct names yield independent streams; the same (seed, name) pair
+// always yields the same sequence, so stochastic workloads replay exactly.
+type RNG struct {
+	*rand.Rand
+	name string
+}
+
+// RNG returns the random stream for the given name.
+func (e *Engine) RNG(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64()) ^ e.seed
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), name: name}
+}
+
+// Name returns the stream name.
+func (r *RNG) Name() string { return r.name }
+
+// DurationRange returns a duration uniformly distributed in [lo, hi).
+func (r *RNG) DurationRange(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)))
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, clamped to [min, max].
+func (r *RNG) Normal(mean, stddev, min, max float64) float64 {
+	v := r.NormFloat64()*stddev + mean
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+package ufs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// cacheEntry is one cached file-system block.
+type cacheEntry struct {
+	blk     int64
+	data    []byte
+	dirty   bool
+	pending bool // a read is in flight filling this entry
+	waiters *sim.Waiter
+	lruSeq  uint64
+}
+
+// Cache is a write-back LRU buffer cache over file-system blocks. All
+// blocking methods take the calling process; the cache itself performs the
+// disk I/O (on the normal, non-real-time queue — CRAS never reads through
+// it).
+type Cache struct {
+	dsk      *disk.Disk
+	capacity int
+	entries  map[int64]*cacheEntry
+	seq      uint64
+
+	// Stats.
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+	Prefetches int64
+}
+
+// NewCache creates a cache holding up to capacity blocks.
+func NewCache(dsk *disk.Disk, capacity int) *Cache {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &Cache{dsk: dsk, capacity: capacity, entries: make(map[int64]*cacheEntry)}
+}
+
+func (c *Cache) touch(e *cacheEntry) {
+	c.seq++
+	e.lruSeq = c.seq
+}
+
+// Get returns the contents of a block, reading it from disk on a miss. The
+// returned slice aliases the cache entry: callers that modify it must call
+// MarkDirty with the same block number before the next blocking operation.
+func (c *Cache) Get(p *sim.Proc, blk int64) []byte {
+	if e, ok := c.entries[blk]; ok {
+		for e.pending {
+			e.waiters.Wait(p)
+		}
+		c.Hits++
+		c.touch(e)
+		return e.data
+	}
+	c.Misses++
+	c.evictFor(p, 1)
+	e := &cacheEntry{blk: blk, pending: true, waiters: sim.NewWaiter(fmt.Sprintf("cache:%d", blk))}
+	c.entries[blk] = e
+	c.touch(e)
+	data := c.dsk.ReadSync(p, blk*SectorsPerBlock, SectorsPerBlock, false)
+	e.data = data
+	e.pending = false
+	e.waiters.WakeAll()
+	return e.data
+}
+
+// GetZero returns a cache entry for a block that is about to be fully
+// overwritten, without reading it from disk.
+func (c *Cache) GetZero(p *sim.Proc, blk int64) []byte {
+	if e, ok := c.entries[blk]; ok {
+		for e.pending {
+			e.waiters.Wait(p)
+		}
+		c.touch(e)
+		for i := range e.data {
+			e.data[i] = 0
+		}
+		return e.data
+	}
+	c.evictFor(p, 1)
+	e := &cacheEntry{blk: blk, data: make([]byte, BlockSize), waiters: sim.NewWaiter(fmt.Sprintf("cache:%d", blk))}
+	c.entries[blk] = e
+	c.touch(e)
+	return e.data
+}
+
+// MarkDirty flags a cached block as modified so eviction and Sync write it
+// back.
+func (c *Cache) MarkDirty(blk int64) {
+	if e, ok := c.entries[blk]; ok {
+		e.dirty = true
+	} else {
+		panic(fmt.Sprintf("ufs: MarkDirty of uncached block %d", blk))
+	}
+}
+
+// Contains reports whether a block is resident (even if still being filled).
+func (c *Cache) Contains(blk int64) bool {
+	_, ok := c.entries[blk]
+	return ok
+}
+
+// Prefetch starts an asynchronous read of count consecutive blocks starting
+// at blk, skipping any that are already resident. It never blocks the
+// caller. Runs of absent blocks are fetched with single multi-block disk
+// requests, which is where FFS-style clustered read-ahead gets its
+// throughput.
+func (c *Cache) Prefetch(blk int64, count int) {
+	i := 0
+	for i < count {
+		// Skip resident blocks.
+		for i < count && c.Contains(blk+int64(i)) {
+			i++
+		}
+		if i >= count {
+			return
+		}
+		runStart := i
+		for i < count && !c.Contains(blk+int64(i)) {
+			i++
+		}
+		c.prefetchRun(blk+int64(runStart), i-runStart)
+	}
+}
+
+func (c *Cache) prefetchRun(blk int64, count int) {
+	// Room check: prefetch must not evict synchronously (no proc context);
+	// drop clean LRU entries only, and shrink the run if the cache is tight.
+	for len(c.entries)+count > c.capacity {
+		if !c.evictCleanLRU() {
+			break
+		}
+	}
+	if len(c.entries)+count > c.capacity {
+		count = c.capacity - len(c.entries)
+		if count <= 0 {
+			return
+		}
+	}
+	entries := make([]*cacheEntry, count)
+	for i := 0; i < count; i++ {
+		e := &cacheEntry{blk: blk + int64(i), pending: true, waiters: sim.NewWaiter(fmt.Sprintf("cache:%d", blk+int64(i)))}
+		c.entries[e.blk] = e
+		c.touch(e)
+		entries[i] = e
+	}
+	c.Prefetches += int64(count)
+	c.dsk.Submit(&disk.Request{
+		LBA:   blk * SectorsPerBlock,
+		Count: count * SectorsPerBlock,
+		Done: func(r *disk.Request, data []byte) {
+			for i, e := range entries {
+				e.data = append([]byte(nil), data[i*BlockSize:(i+1)*BlockSize]...)
+				e.pending = false
+				e.waiters.WakeAll()
+			}
+		},
+	})
+}
+
+// evictCleanLRU drops the least-recently-used clean, non-pending entry,
+// reporting whether one was found.
+func (c *Cache) evictCleanLRU() bool {
+	var victim *cacheEntry
+	for _, e := range c.entries {
+		if e.pending || e.dirty {
+			continue
+		}
+		if victim == nil || e.lruSeq < victim.lruSeq {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(c.entries, victim.blk)
+	return true
+}
+
+// evictFor makes room for n new entries, writing back dirty victims.
+func (c *Cache) evictFor(p *sim.Proc, n int) {
+	for len(c.entries)+n > c.capacity {
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if e.pending {
+				continue
+			}
+			if victim == nil || e.lruSeq < victim.lruSeq {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything pending; allow temporary overshoot
+		}
+		if victim.dirty {
+			c.Writebacks++
+			c.dsk.WriteSync(p, victim.blk*SectorsPerBlock, SectorsPerBlock, victim.data, false)
+		}
+		delete(c.entries, victim.blk)
+	}
+}
+
+// Sync writes back every dirty block.
+func (c *Cache) Sync(p *sim.Proc) {
+	// Deterministic order: ascending block number.
+	var dirty []int64
+	for blk, e := range c.entries {
+		if e.dirty && !e.pending {
+			dirty = append(dirty, blk)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, blk := range dirty {
+		e := c.entries[blk]
+		c.Writebacks++
+		c.dsk.WriteSync(p, blk*SectorsPerBlock, SectorsPerBlock, e.data, false)
+		e.dirty = false
+	}
+}
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Invalidate drops a block from the cache, discarding dirty data. Used when
+// freeing blocks.
+func (c *Cache) Invalidate(blk int64) { delete(c.entries, blk) }

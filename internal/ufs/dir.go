@@ -1,0 +1,313 @@
+package ufs
+
+import (
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Directory entries are fixed 64-byte records: inode number, file type,
+// name length, then the name. An entry with inode 0 is free.
+const (
+	dirEntSize = 64
+	maxNameLen = dirEntSize - 6
+)
+
+type dirEnt struct {
+	ino   uint32
+	ftype uint8
+	name  string
+}
+
+func (e *dirEnt) encode(buf []byte) {
+	putLeUint32(buf[0:], e.ino)
+	buf[4] = e.ftype
+	buf[5] = uint8(len(e.name))
+	copy(buf[6:], e.name)
+	for i := 6 + len(e.name); i < dirEntSize; i++ {
+		buf[i] = 0
+	}
+}
+
+func (e *dirEnt) decode(buf []byte) {
+	e.ino = leUint32(buf[0:])
+	e.ftype = buf[4]
+	n := int(buf[5])
+	if n > maxNameLen {
+		n = maxNameLen
+	}
+	e.name = string(buf[6 : 6+n])
+}
+
+// DirEntry is a name/inode pair returned by ReadDir.
+type DirEntry struct {
+	Name  string
+	Ino   uint32
+	IsDir bool
+}
+
+// readDirEnts scans every entry of a directory inode.
+func (fs *FileSystem) readDirEnts(p *sim.Proc, dirIno uint32) ([]dirEnt, error) {
+	f := fs.openByIno(dirIno)
+	size := f.Size(p)
+	raw := make([]byte, size)
+	if _, err := f.ReadAt(p, raw, 0); err != nil {
+		return nil, err
+	}
+	var out []dirEnt
+	for off := int64(0); off+dirEntSize <= size; off += dirEntSize {
+		var e dirEnt
+		e.decode(raw[off : off+dirEntSize])
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// dirLookup finds name in the directory, returning its entry index and
+// inode.
+func (fs *FileSystem) dirLookup(p *sim.Proc, dirIno uint32, name string) (idx int, ino uint32, err error) {
+	ents, err := fs.readDirEnts(p, dirIno)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, e := range ents {
+		if e.ino != 0 && e.name == name {
+			return i, e.ino, nil
+		}
+	}
+	return 0, 0, ErrNotFound
+}
+
+// dirAdd inserts an entry, reusing a free slot if available.
+func (fs *FileSystem) dirAdd(p *sim.Proc, dirIno uint32, name string, ino uint32, ftype uint8) error {
+	if len(name) == 0 || len(name) > maxNameLen || strings.Contains(name, "/") {
+		return ErrNameTooLong
+	}
+	ents, err := fs.readDirEnts(p, dirIno)
+	if err != nil {
+		return err
+	}
+	slot := int64(len(ents))
+	for i, e := range ents {
+		if e.ino == 0 {
+			slot = int64(i)
+			break
+		}
+	}
+	buf := make([]byte, dirEntSize)
+	(&dirEnt{ino: ino, ftype: ftype, name: name}).encode(buf)
+	f := fs.openByIno(dirIno)
+	_, err = f.WriteAt(p, buf, slot*dirEntSize)
+	return err
+}
+
+// dirRemove clears the entry for name.
+func (fs *FileSystem) dirRemove(p *sim.Proc, dirIno uint32, name string) error {
+	idx, _, err := fs.dirLookup(p, dirIno, name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, dirEntSize) // ino 0 = free slot
+	f := fs.openByIno(dirIno)
+	_, err = f.WriteAt(p, buf, int64(idx)*dirEntSize)
+	return err
+}
+
+// splitPath splits "/a/b/c" into components. An empty or "/" path yields
+// nil (the root itself).
+func splitPath(path string) []string {
+	var out []string
+	for _, part := range strings.Split(path, "/") {
+		if part != "" && part != "." {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// namei resolves a path to an inode number.
+func (fs *FileSystem) namei(p *sim.Proc, path string) (uint32, error) {
+	cur := uint32(RootIno)
+	for _, part := range splitPath(path) {
+		in := fs.getInode(p, cur)
+		if in.Mode != ModeDir {
+			return 0, ErrNotDir
+		}
+		_, next, err := fs.dirLookup(p, cur, part)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// nameiParent resolves the directory containing the path's final component.
+func (fs *FileSystem) nameiParent(p *sim.Proc, path string) (parent uint32, name string, err error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return 0, "", ErrExists // the root itself
+	}
+	name = parts[len(parts)-1]
+	cur := uint32(RootIno)
+	for _, part := range parts[:len(parts)-1] {
+		in := fs.getInode(p, cur)
+		if in.Mode != ModeDir {
+			return 0, "", ErrNotDir
+		}
+		_, next, err := fs.dirLookup(p, cur, part)
+		if err != nil {
+			return 0, "", err
+		}
+		cur = next
+	}
+	return cur, name, nil
+}
+
+// Open returns a handle on an existing file.
+func (fs *FileSystem) Open(p *sim.Proc, path string) (*File, error) {
+	ino, err := fs.namei(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if fs.getInode(p, ino).Mode == ModeDir {
+		return nil, ErrIsDir
+	}
+	return fs.openByIno(ino), nil
+}
+
+// Create makes a new empty file. The inode is placed in the parent
+// directory's group when possible, as FFS does.
+func (fs *FileSystem) Create(p *sim.Proc, path string) (*File, error) {
+	parent, name, err := fs.nameiParent(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := fs.dirLookup(p, parent, name); err == nil {
+		return nil, ErrExists
+	}
+	ino, err := fs.allocInode(p, int(parent/fs.sb.InodesPerGroup), ModeFile)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.dirAdd(p, parent, name, ino, ModeFile); err != nil {
+		fs.freeInode(p, ino)
+		return nil, err
+	}
+	return fs.openByIno(ino), nil
+}
+
+// Mkdir creates a directory. New directories spread across groups to
+// balance allocation, following the FFS heuristic of placing directories in
+// emptier groups — approximated here by round-robin on the name hash.
+func (fs *FileSystem) Mkdir(p *sim.Proc, path string) error {
+	parent, name, err := fs.nameiParent(p, path)
+	if err != nil {
+		return err
+	}
+	if _, _, err := fs.dirLookup(p, parent, name); err == nil {
+		return ErrExists
+	}
+	near := 0
+	for _, c := range name {
+		near = (near + int(c)) % int(fs.sb.NGroups)
+	}
+	ino, err := fs.allocInode(p, near, ModeDir)
+	if err != nil {
+		return err
+	}
+	if err := fs.dirAdd(p, parent, name, ino, ModeDir); err != nil {
+		fs.freeInode(p, ino)
+		return err
+	}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FileSystem) MkdirAll(p *sim.Proc, path string) error {
+	parts := splitPath(path)
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		if err := fs.Mkdir(p, cur); err != nil && err != ErrExists {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unlink removes a file, releasing its blocks and inode. Directories must
+// be empty.
+func (fs *FileSystem) Unlink(p *sim.Proc, path string) error {
+	parent, name, err := fs.nameiParent(p, path)
+	if err != nil {
+		return err
+	}
+	_, ino, err := fs.dirLookup(p, parent, name)
+	if err != nil {
+		return err
+	}
+	in := fs.getInode(p, ino)
+	if in.Mode == ModeDir {
+		ents, err := fs.readDirEnts(p, ino)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if e.ino != 0 {
+				return ErrExists // directory not empty
+			}
+		}
+	}
+	if err := fs.dirRemove(p, parent, name); err != nil {
+		return err
+	}
+	in.NLink--
+	if in.NLink == 0 {
+		fs.truncateToZero(p, ino)
+		fs.freeInode(p, ino)
+	} else {
+		fs.markInodeDirty(ino)
+	}
+	return nil
+}
+
+// ReadDir lists a directory.
+func (fs *FileSystem) ReadDir(p *sim.Proc, path string) ([]DirEntry, error) {
+	ino, err := fs.namei(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if fs.getInode(p, ino).Mode != ModeDir {
+		return nil, ErrNotDir
+	}
+	ents, err := fs.readDirEnts(p, ino)
+	if err != nil {
+		return nil, err
+	}
+	var out []DirEntry
+	for _, e := range ents {
+		if e.ino != 0 {
+			out = append(out, DirEntry{Name: e.name, Ino: e.ino, IsDir: e.ftype == ModeDir})
+		}
+	}
+	return out, nil
+}
+
+// Stat describes a file for applications.
+type Stat struct {
+	Ino    uint32
+	Size   int64
+	IsDir  bool
+	Blocks int64
+}
+
+// Stat returns file metadata.
+func (fs *FileSystem) Stat(p *sim.Proc, path string) (Stat, error) {
+	ino, err := fs.namei(p, path)
+	if err != nil {
+		return Stat{}, err
+	}
+	in := fs.getInode(p, ino)
+	return Stat{Ino: ino, Size: in.Size, IsDir: in.Mode == ModeDir, Blocks: in.Blocks()}, nil
+}

@@ -1,0 +1,333 @@
+package ufs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Format constants. The 8 KB block matches the FFS configuration the paper
+// used; 16 sectors of 512 bytes make one block.
+const (
+	BlockSize       = 8192
+	SectorsPerBlock = BlockSize / 512
+
+	InodeSize      = 128
+	InodesPerBlock = BlockSize / InodeSize // 64
+
+	Magic   = 0x434d4653 // "CMFS"
+	Version = 1
+
+	// RootIno is the inode number of the root directory. Inode 0 is
+	// reserved so that 0 can mean "no inode".
+	RootIno = 1
+)
+
+// Inode modes.
+const (
+	ModeFree = 0
+	ModeFile = 1
+	ModeDir  = 2
+)
+
+// NDirect is the number of direct block pointers per inode.
+const NDirect = 12
+
+// PtrsPerBlock is the number of block pointers in an indirect block.
+const PtrsPerBlock = BlockSize / 4 // 2048
+
+// MaxFileBlocks is the largest file the format supports, in blocks.
+const MaxFileBlocks = NDirect + PtrsPerBlock + PtrsPerBlock*PtrsPerBlock
+
+// Options configures mkfs. The MaxContig/RotDelay pair models the tunefs
+// parameters the paper adjusted: with RotDelay 0 the allocator lays blocks
+// out back-to-back without limit (the paper's "as contiguously as
+// possible"); with RotDelay > 0 it inserts that many spare blocks after
+// every MaxContig allocated ones, the historical FFS behaviour that
+// fragments sequential files.
+type Options struct {
+	BlocksPerGroup  int // default 2048 (16 MB groups)
+	InodeBlocksPerG int // default 4 (256 inodes per group)
+	MaxContig       int // default 32 (256 KB clusters)
+	RotDelay        int // default 0
+	CacheBlocks     int // buffer cache capacity; default 256 (2 MB)
+	ReadAheadBlocks int // sequential read-ahead window; default 8 (64 KB)
+}
+
+func (o *Options) fillDefaults() {
+	if o.BlocksPerGroup == 0 {
+		o.BlocksPerGroup = 2048
+	}
+	if o.InodeBlocksPerG == 0 {
+		o.InodeBlocksPerG = 4
+	}
+	if o.MaxContig == 0 {
+		o.MaxContig = 32
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 256
+	}
+	if o.ReadAheadBlocks == 0 {
+		o.ReadAheadBlocks = 8
+	}
+}
+
+// Super is the superblock, stored in disk block 0.
+type Super struct {
+	Magic           uint32
+	Version         uint32
+	NBlocks         uint32 // total FS blocks on the disk (including block 0)
+	BlocksPerGroup  uint32
+	NGroups         uint32
+	InodeBlocksPerG uint32
+	InodesPerGroup  uint32
+	MaxContig       uint32
+	RotDelay        uint32
+}
+
+func (s *Super) encode(buf []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], s.Magic)
+	le.PutUint32(buf[4:], s.Version)
+	le.PutUint32(buf[8:], s.NBlocks)
+	le.PutUint32(buf[12:], s.BlocksPerGroup)
+	le.PutUint32(buf[16:], s.NGroups)
+	le.PutUint32(buf[20:], s.InodeBlocksPerG)
+	le.PutUint32(buf[24:], s.InodesPerGroup)
+	le.PutUint32(buf[28:], s.MaxContig)
+	le.PutUint32(buf[32:], s.RotDelay)
+}
+
+func (s *Super) decode(buf []byte) error {
+	le := binary.LittleEndian
+	s.Magic = le.Uint32(buf[0:])
+	s.Version = le.Uint32(buf[4:])
+	s.NBlocks = le.Uint32(buf[8:])
+	s.BlocksPerGroup = le.Uint32(buf[12:])
+	s.NGroups = le.Uint32(buf[16:])
+	s.InodeBlocksPerG = le.Uint32(buf[20:])
+	s.InodesPerGroup = le.Uint32(buf[24:])
+	s.MaxContig = le.Uint32(buf[28:])
+	s.RotDelay = le.Uint32(buf[32:])
+	if s.Magic != Magic {
+		return fmt.Errorf("ufs: bad magic %#x", s.Magic)
+	}
+	if s.Version != Version {
+		return fmt.Errorf("ufs: unsupported version %d", s.Version)
+	}
+	return nil
+}
+
+// Inode is the in-memory form of an on-disk inode.
+type Inode struct {
+	Mode      uint16
+	NLink     uint16
+	Size      int64
+	MTime     int64 // virtual nanoseconds
+	Direct    [NDirect]uint32
+	Indirect  uint32
+	DIndirect uint32
+}
+
+func (in *Inode) encode(buf []byte) {
+	le := binary.LittleEndian
+	le.PutUint16(buf[0:], in.Mode)
+	le.PutUint16(buf[2:], in.NLink)
+	le.PutUint64(buf[8:], uint64(in.Size))
+	le.PutUint64(buf[16:], uint64(in.MTime))
+	for i, d := range in.Direct {
+		le.PutUint32(buf[24+4*i:], d)
+	}
+	le.PutUint32(buf[24+4*NDirect:], in.Indirect)
+	le.PutUint32(buf[28+4*NDirect:], in.DIndirect)
+}
+
+func (in *Inode) decode(buf []byte) {
+	le := binary.LittleEndian
+	in.Mode = le.Uint16(buf[0:])
+	in.NLink = le.Uint16(buf[2:])
+	in.Size = int64(le.Uint64(buf[8:]))
+	in.MTime = int64(le.Uint64(buf[16:]))
+	for i := range in.Direct {
+		in.Direct[i] = le.Uint32(buf[24+4*i:])
+	}
+	in.Indirect = le.Uint32(buf[24+4*NDirect:])
+	in.DIndirect = le.Uint32(buf[28+4*NDirect:])
+}
+
+// Blocks returns the file size in blocks, rounded up.
+func (in *Inode) Blocks() int64 { return (in.Size + BlockSize - 1) / BlockSize }
+
+// group describes one cylinder group's location and bitmap state.
+// The header block layout is: [freeBlocks u32][freeInodes u32]
+// [inode bitmap][block bitmap].
+type group struct {
+	index      int
+	start      uint32 // first block of the group (the header block)
+	nblocks    uint32 // blocks in this group (may be short in the last group)
+	freeBlocks uint32
+	freeInodes uint32
+	inodeBmp   []byte
+	blockBmp   []byte
+	dirty      bool
+}
+
+func (g *group) dataStart(sb *Super) uint32 {
+	return g.start + 1 + sb.InodeBlocksPerG
+}
+
+func (g *group) encode(buf []byte, sb *Super) {
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], g.freeBlocks)
+	le.PutUint32(buf[4:], g.freeInodes)
+	off := 8
+	copy(buf[off:], g.inodeBmp)
+	off += len(g.inodeBmp)
+	copy(buf[off:], g.blockBmp)
+}
+
+func (g *group) decode(buf []byte, sb *Super) {
+	le := binary.LittleEndian
+	g.freeBlocks = le.Uint32(buf[0:])
+	g.freeInodes = le.Uint32(buf[4:])
+	off := 8
+	inodeBmpLen := (int(sb.InodesPerGroup) + 7) / 8
+	blockBmpLen := (int(sb.BlocksPerGroup) + 7) / 8
+	g.inodeBmp = append([]byte(nil), buf[off:off+inodeBmpLen]...)
+	off += inodeBmpLen
+	g.blockBmp = append([]byte(nil), buf[off:off+blockBmpLen]...)
+}
+
+func bmpGet(bmp []byte, i int) bool { return bmp[i/8]&(1<<(i%8)) != 0 }
+func bmpSet(bmp []byte, i int)      { bmp[i/8] |= 1 << (i % 8) }
+func bmpClear(bmp []byte, i int)    { bmp[i/8] &^= 1 << (i % 8) }
+
+// ErrTooSmall is returned by Format when the disk cannot hold even one
+// cylinder group.
+var ErrTooSmall = errors.New("ufs: disk too small")
+
+// Format writes a fresh file system onto the disk image offline (no disk
+// timing), the way mkfs prepares a volume before it is ever mounted. It
+// returns the resulting superblock.
+func Format(d *disk.Disk, opts Options) (*Super, error) {
+	opts.fillDefaults()
+	nblocks := uint32(d.Geometry().TotalSectors() / SectorsPerBlock)
+	if int(nblocks) < opts.BlocksPerGroup+1 {
+		return nil, ErrTooSmall
+	}
+	bpg := uint32(opts.BlocksPerGroup)
+	ngroups := (nblocks - 1) / bpg // block 0 is the superblock
+	if (nblocks-1)%bpg >= uint32(opts.InodeBlocksPerG+2) {
+		ngroups++ // partial last group, if it can hold metadata plus data
+	}
+	sb := &Super{
+		Magic:           Magic,
+		Version:         Version,
+		NBlocks:         nblocks,
+		BlocksPerGroup:  bpg,
+		NGroups:         ngroups,
+		InodeBlocksPerG: uint32(opts.InodeBlocksPerG),
+		InodesPerGroup:  uint32(opts.InodeBlocksPerG * InodesPerBlock),
+		MaxContig:       uint32(opts.MaxContig),
+		RotDelay:        uint32(opts.RotDelay),
+	}
+
+	// Superblock.
+	buf := make([]byte, BlockSize)
+	sb.encode(buf)
+	pokeBlock(d, 0, buf)
+
+	// Cylinder groups.
+	for gi := uint32(0); gi < ngroups; gi++ {
+		g := newEmptyGroup(sb, int(gi))
+		// Metadata blocks (header + inode blocks) are in use.
+		for b := uint32(0); b < 1+sb.InodeBlocksPerG; b++ {
+			bmpSet(g.blockBmp, int(b))
+			g.freeBlocks--
+		}
+		// In group 0, reserve inode 0 so it is never allocated.
+		if gi == 0 {
+			bmpSet(g.inodeBmp, 0)
+			g.freeInodes--
+		}
+		hdr := make([]byte, BlockSize)
+		g.encode(hdr, sb)
+		pokeBlock(d, int64(g.start), hdr)
+		// Zero the inode blocks.
+		zero := make([]byte, BlockSize)
+		for b := uint32(0); b < sb.InodeBlocksPerG; b++ {
+			pokeBlock(d, int64(g.start+1+b), zero)
+		}
+	}
+
+	// Root directory: inode RootIno in group 0, initially empty.
+	if err := writeRoot(d, sb); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// newEmptyGroup builds the in-memory state of a freshly formatted group.
+func newEmptyGroup(sb *Super, gi int) *group {
+	start := uint32(1) + uint32(gi)*sb.BlocksPerGroup
+	n := sb.BlocksPerGroup
+	if start+n > sb.NBlocks {
+		n = sb.NBlocks - start
+	}
+	g := &group{
+		index:      gi,
+		start:      start,
+		nblocks:    n,
+		freeBlocks: n,
+		freeInodes: sb.InodesPerGroup,
+		inodeBmp:   make([]byte, (int(sb.InodesPerGroup)+7)/8),
+		blockBmp:   make([]byte, (int(sb.BlocksPerGroup)+7)/8),
+	}
+	// Blocks beyond the (possibly short) group are unusable.
+	for b := n; b < sb.BlocksPerGroup; b++ {
+		bmpSet(g.blockBmp, int(b))
+	}
+	return g
+}
+
+// writeRoot writes the root inode into group 0's first inode block and marks
+// it allocated. Separated from the main loop for clarity since group 0 is
+// the only group with live contents at format time.
+func writeRoot(d *disk.Disk, sb *Super) error {
+	g := loadGroupOffline(d, sb, 0)
+	bmpSet(g.inodeBmp, RootIno)
+	g.freeInodes--
+	hdr := make([]byte, BlockSize)
+	g.encode(hdr, sb)
+	pokeBlock(d, int64(g.start), hdr)
+
+	ib := make([]byte, BlockSize)
+	root := Inode{Mode: ModeDir, NLink: 1}
+	root.encode(ib[RootIno*InodeSize:])
+	pokeBlock(d, int64(g.start+1), ib)
+	return nil
+}
+
+func loadGroupOffline(d *disk.Disk, sb *Super, gi int) *group {
+	g := newEmptyGroup(sb, gi)
+	buf := peekBlock(d, int64(g.start))
+	g.decode(buf, sb)
+	g.index = gi
+	return g
+}
+
+func pokeBlock(d *disk.Disk, blk int64, data []byte) {
+	for s := 0; s < SectorsPerBlock; s++ {
+		d.PokeSector(blk*SectorsPerBlock+int64(s), data[s*512:(s+1)*512])
+	}
+}
+
+func peekBlock(d *disk.Disk, blk int64) []byte {
+	out := make([]byte, BlockSize)
+	for s := 0; s < SectorsPerBlock; s++ {
+		copy(out[s*512:], d.PeekSector(blk*SectorsPerBlock+int64(s)))
+	}
+	return out
+}

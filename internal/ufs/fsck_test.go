@@ -1,0 +1,155 @@
+package ufs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCheckCleanVolume(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		r := fs.Check(p)
+		if !r.OK() {
+			t.Fatalf("fresh volume inconsistent: %v", r.Problems)
+		}
+		if r.Dirs != 1 || r.Files != 0 {
+			t.Fatalf("fresh volume: %d dirs %d files", r.Dirs, r.Files)
+		}
+	})
+}
+
+func TestCheckAfterActivity(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		fs.Mkdir(p, "/a")
+		fs.Mkdir(p, "/a/b")
+		f1, _ := fs.Create(p, "/a/f1")
+		f1.WriteAt(p, bytes.Repeat([]byte{1}, 3*BlockSize), 0)
+		f2, _ := fs.Create(p, "/a/b/f2")
+		f2.Preallocate(p, int64(NDirect+100)*BlockSize) // indirect blocks
+		fs.Create(p, "/tmp1")
+		fs.Unlink(p, "/tmp1")
+		fs.Sync(p)
+		r := fs.Check(p)
+		if !r.OK() {
+			t.Fatalf("volume inconsistent after activity: %v", r.Problems)
+		}
+		if r.Files != 2 || r.Dirs != 3 {
+			t.Fatalf("counted %d files %d dirs", r.Files, r.Dirs)
+		}
+		if r.UsedBlocks == 0 || r.FreeBlocks == 0 {
+			t.Fatal("block accounting empty")
+		}
+	})
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		// Allocate a block and drop it on the floor.
+		if _, err := fs.allocBlockNear(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		r := fs.Check(p)
+		if r.OK() {
+			t.Fatal("leaked block not detected")
+		}
+	})
+}
+
+func TestCheckDetectsDoubleClaim(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		f1, _ := fs.Create(p, "/x")
+		f1.WriteAt(p, []byte{1}, 0)
+		f2, _ := fs.Create(p, "/y")
+		f2.WriteAt(p, []byte{1}, 0)
+		// Corrupt: point y's first block at x's.
+		in1 := fs.getInode(p, f1.ino)
+		in2 := fs.getInode(p, f2.ino)
+		fs.freeBlock(p, in2.Direct[0])
+		in2.Direct[0] = in1.Direct[0]
+		fs.markInodeDirty(f2.ino)
+		r := fs.Check(p)
+		if r.OK() {
+			t.Fatal("cross-linked block not detected")
+		}
+	})
+}
+
+func TestCheckDetectsOrphanInode(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		// Allocate an inode with no directory entry.
+		if _, err := fs.allocInode(p, 0, ModeFile); err != nil {
+			t.Fatal(err)
+		}
+		r := fs.Check(p)
+		if r.OK() {
+			t.Fatal("orphan inode not detected")
+		}
+	})
+}
+
+func TestCheckDetectsBadFreeCount(t *testing.T) {
+	withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+		g := fs.getGroup(p, 0)
+		g.freeBlocks-- // counter now disagrees with the bitmap
+		r := fs.Check(p)
+		if r.OK() {
+			t.Fatal("free-count mismatch not detected")
+		}
+	})
+}
+
+// Property: any sequence of create/write/preallocate/unlink operations
+// leaves a consistent volume.
+func TestPropertyFSConsistentUnderOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 30 {
+			ops = ops[:30]
+		}
+		ok := true
+		withFS(t, Options{}, func(p *sim.Proc, fs *FileSystem) {
+			var files []string
+			for i, op := range ops {
+				name := "/f" + string(rune('a'+i%26))
+				switch op % 4 {
+				case 0:
+					if _, err := fs.Create(p, name); err == nil {
+						files = append(files, name)
+					}
+				case 1:
+					if len(files) > 0 {
+						fh, err := fs.Open(p, files[int(op)%len(files)])
+						if err == nil {
+							fh.WriteAt(p, bytes.Repeat([]byte{byte(op)}, int(op%5000)+1), int64(op%3)*BlockSize)
+						}
+					}
+				case 2:
+					if len(files) > 0 {
+						fh, err := fs.Open(p, files[int(op)%len(files)])
+						if err == nil {
+							fh.Preallocate(p, int64(op%200)*BlockSize)
+						}
+					}
+				case 3:
+					if len(files) > 0 {
+						idx := int(op) % len(files)
+						if fs.Unlink(p, files[idx]) == nil {
+							files = append(files[:idx], files[idx+1:]...)
+						}
+					}
+				}
+			}
+			fs.Sync(p)
+			r := fs.Check(p)
+			if !r.OK() {
+				t.Logf("problems: %v", r.Problems)
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

