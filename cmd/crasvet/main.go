@@ -1,0 +1,96 @@
+// Command crasvet runs the CRAS determinism and event-loop analyzers
+// (internal/analysis) alongside the standard go vet passes, and exits
+// non-zero on any finding so CI can gate on it.
+//
+// Usage:
+//
+//	crasvet [-novet] [-list] [packages]
+//
+// With no package patterns, it checks ./.... Findings print as
+//
+//	file:line:col: [analyzer] message
+//
+// and can be sanctioned in source with a directive comment on the same line
+// or the line above:
+//
+//	//crasvet:allow <analyzer>[,<analyzer>...] -- reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip running the standard `go vet` passes")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: crasvet [-novet] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks CRAS determinism invariants; see internal/analysis.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+
+	// Standard vet passes first: crasvet is a superset of go vet.
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crasvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	count := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "crasvet: type error in %s: %v\n", pkg.Path, terr)
+			failed = true
+		}
+		for _, a := range analysis.All() {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			diags, err := pkg.Run(a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crasvet: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				count++
+			}
+		}
+	}
+
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "crasvet: %d finding(s)\n", count)
+	}
+	if failed || count > 0 {
+		os.Exit(1)
+	}
+}

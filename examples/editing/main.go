@@ -59,7 +59,9 @@ func main() {
 			if _, err := c.Write(ctlFd, 0, cras.EncodeControl(edited)); err != nil {
 				panic(err)
 			}
-			c.Sync()
+			if err := c.Sync(); err != nil {
+				panic(err)
+			}
 
 			// Play both through CRAS and compare what the layouts did.
 			for _, tc := range []struct {

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and output
+	Doc  string // one-paragraph description of the invariant
+
+	// Scope reports whether the analyzer applies to the package with the
+	// given import path. A nil Scope means every package. The driver
+	// consults Scope; tests may run an analyzer on any package directly.
+	Scope func(pkgPath string) bool
+
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds errors from type checking. Analyzers still run on a
+	// package with type errors (the AST is intact), but drivers should
+	// surface the errors: missing type information weakens every check.
+	TypeErrors []error
+}
+
+// Run applies the analyzer to the package and returns its findings, with
+// //crasvet:allow directives already applied and the result sorted by
+// position.
+func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+	}
+	allow := pkg.directives()
+	kept := diags[:0]
+	for _, d := range diags {
+		if allow.allows(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return lessPosition(kept[i].Pos, kept[j].Pos) })
+	return kept, nil
+}
+
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// directiveSet maps file → line → analyzer names sanctioned on that line.
+// An empty name list means "all analyzers".
+type directiveSet map[string]map[int][]string
+
+const directivePrefix = "//crasvet:allow"
+
+// directives scans every comment in the package for //crasvet:allow lines.
+func (pkg *Package) directives() directiveSet {
+	set := directiveSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //crasvet:allowance — not ours
+				}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i] // trailing "-- reason" is free text
+				}
+				var names []string
+				for _, field := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				}) {
+					names = append(names, field)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				if len(names) == 0 {
+					// Bare directive: mark with a sentinel meaning "all".
+					byLine[pos.Line] = append(byLine[pos.Line], "*")
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether a directive on the diagnostic's line (or the line
+// directly above it) sanctions the finding.
+func (s directiveSet) allows(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == "*" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the crasvet analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SimClock, RNGSource, EventLoop, IOErrCheck}
+}
+
+// suffixScope returns a Scope matching packages whose import path equals or
+// ends with "/"+suffix for any of the given suffixes.
+func suffixScope(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSimClock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/simclock", analysis.SimClock)
+}
+
+func TestSimClockScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core": true,
+		"repro/internal/expt": true,
+		"repro/internal/rtm":  true,
+		"repro/internal/sim":  false, // the engine owns the clock
+		"repro/internal/lab":  false,
+		"repro":               false,
+		"repro/cmd/crasbench": false,
+	} {
+		if got := analysis.SimClock.Scope(path); got != want {
+			t.Errorf("SimClock.Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestRNGSource(t *testing.T) {
+	analysistest.Run(t, "testdata/src/rngsource", analysis.RNGSource)
+}
+
+func TestRNGSourceExemptsSimRNG(t *testing.T) {
+	// The same math/rand import is sanctioned when it lives in a file named
+	// rng.go inside a package path ending in internal/sim.
+	analysistest.RunAs(t, "testdata/src/rngexempt", "repro/internal/sim", analysis.RNGSource)
+}
+
+func TestRNGSourceFlagsRNGFileOutsideSim(t *testing.T) {
+	// The same code as the rngexempt fixture — a file named rng.go importing
+	// math/rand — is flagged when its package path does not end in
+	// internal/sim: the file name alone buys nothing.
+	analysistest.Run(t, "testdata/src/rngflagged", analysis.RNGSource)
+}
+
+func TestEventLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/eventloop", analysis.EventLoop)
+}
+
+func TestEventLoopScope(t *testing.T) {
+	if analysis.EventLoop.Scope("repro/internal/sim") {
+		t.Error("eventloop must not run on the engine package itself")
+	}
+	if !analysis.EventLoop.Scope("repro/internal/core") {
+		t.Error("eventloop must run on internal/core")
+	}
+}
+
+func TestIOErrCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ioerrcheck", analysis.NewIOErrCheck("ioerrcheck/fakedisk"))
+}
+
+// TestSuiteCleanOnOwnPackage is an integration test of the loader and the
+// full suite: the analysis package itself must load, type-check without
+// errors, and come back clean.
+func TestSuiteCleanOnOwnPackage(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/analysis")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	for _, a := range analysis.All() {
+		if a.Scope != nil && !a.Scope(pkg.Path) {
+			continue
+		}
+		diags, err := pkg.Run(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package analysistest runs a crasvet analyzer over a fixture directory and
+// checks its diagnostics against // want comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest but built on the standard
+// library only.
+//
+// A fixture directory holds one package of .go files. Each line that should
+// produce a diagnostic carries a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// with one quoted regular expression per expected diagnostic on that line.
+// Lines without a want comment must stay clean. Subdirectories are compiled
+// first as helper packages importable as "<fixture>/<subdir>".
+//
+// Fixtures type-check against real export data (go list -export), so they
+// may import the standard library and repro packages such as
+// repro/internal/sim.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run checks the analyzer against the fixture directory, type-checked under
+// the import path filepath.Base(dir).
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	RunAs(t, dir, filepath.Base(dir), a)
+}
+
+// RunAs is Run with an explicit import path for the fixture package, for
+// analyzers whose behavior depends on where the code lives (for example
+// rngsource's internal/sim/rng.go exemption).
+func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	base := filepath.Base(dir)
+
+	// Helper packages in subdirectories compile first.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	type helper struct {
+		path  string
+		files []*ast.File
+	}
+	var helpers []helper
+	var mainFiles []*ast.File
+	for _, e := range entries {
+		if e.IsDir() {
+			files := parseDir(t, fset, filepath.Join(dir, e.Name()))
+			helpers = append(helpers, helper{path: base + "/" + e.Name(), files: files})
+		}
+	}
+	mainFiles = parseDir(t, fset, dir)
+	if len(mainFiles) == 0 {
+		t.Fatalf("no .go files in fixture %s", dir)
+	}
+
+	// Resolve external imports through the build cache.
+	external := map[string]bool{}
+	collect := func(files []*ast.File) {
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == "unsafe" || strings.HasPrefix(p, base+"/") {
+					continue
+				}
+				external[p] = true
+			}
+		}
+	}
+	for _, h := range helpers {
+		collect(h.files)
+	}
+	collect(mainFiles)
+	imp := &fixtureImporter{
+		local:    map[string]*types.Package{},
+		delegate: analysis.ExportImporter(fset, exportData(t, external)),
+	}
+
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info) {
+		info := analysis.NewInfo()
+		var terrs []error
+		conf := types.Config{Importer: imp, Error: func(err error) { terrs = append(terrs, err) }}
+		pkg, _ := conf.Check(path, fset, files, info)
+		for _, e := range terrs {
+			t.Errorf("fixture %s: type error: %v", dir, e)
+		}
+		if len(terrs) > 0 {
+			t.FailNow()
+		}
+		return pkg, info
+	}
+	for _, h := range helpers {
+		pkg, _ := check(h.path, h.files)
+		imp.local[h.path] = pkg
+	}
+	tpkg, info := check(pkgPath, mainFiles)
+
+	pkg := &analysis.Package{
+		Path:  pkgPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: mainFiles,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	compare(t, fset, mainFiles, diags)
+}
+
+// parseDir parses the .go files directly inside dir (no recursion).
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// exportData resolves the given import paths (plus transitive dependencies)
+// to gc export data files via the go tool.
+func exportData(t *testing.T, paths map[string]bool) map[string]string {
+	t.Helper()
+	exports := map[string]string{}
+	if len(paths) == 0 {
+		return exports
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}
+	for p := range paths {
+		args = append(args, p)
+	}
+	sort.Strings(args[5:])
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("go list -export: decoding: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports
+}
+
+// fixtureImporter resolves fixture helper packages locally and everything
+// else through export data.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	delegate types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.local[path]; ok {
+		return pkg, nil
+	}
+	return fi.delegate.Import(path)
+}
+
+// expectation is one // want regexp, keyed to its file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted strings from a want comment tail.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q (expected quoted regexp)", pos, s)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,30 @@
+// Package analysis is crasvet's static-analysis framework: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis built on the
+// standard library's go/ast, go/types and go/importer.
+//
+// The paper's central claim is predictability: the request scheduler runs
+// every interval T, the admission formulas bound disk time, and the
+// time-driven buffer discards by logical clock. Our reproduction keeps that
+// predictability by forcing all timing through the deterministic
+// internal/sim engine — no wall clock, one seeded RNG. The analyzers in
+// this package turn those tribal rules into machine-checked invariants:
+//
+//   - simclock:   no time.Now/Sleep/Since/... in simulation packages
+//   - rngsource:  math/rand and crypto/rand only inside internal/sim/rng.go
+//   - eventloop:  no goroutines, channel ops, sync primitives or unbounded
+//     loops inside sim event callbacks and process bodies
+//   - ioerrcheck: no discarded error returns from internal/disk and
+//     internal/ufs calls
+//
+// A diagnostic can be suppressed with a directive comment on the same line
+// or the line directly above:
+//
+//	//crasvet:allow <analyzer>[,<analyzer>...] [-- reason]
+//
+// A bare "//crasvet:allow" suppresses every analyzer for that line. Use the
+// reason field; an allow without one is a smell.
+//
+// The framework loads type information offline from the build cache
+// (go list -export), so it needs no network access and no third-party
+// modules. Run it via cmd/crasvet.
+package analysis

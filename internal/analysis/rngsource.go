@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// rngBannedImports are the randomness sources that bypass the engine's
+// seeded, named streams.
+var rngBannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// RNGSource forbids importing math/rand or crypto/rand anywhere but
+// internal/sim/rng.go, the single sanctioned wrapper. Every stochastic
+// workload draws from Engine.RNG(name), so a run is reproduced exactly by
+// its seed; a second rand.Source breaks that replay.
+var RNGSource = &Analyzer{
+	Name: "rngsource",
+	Doc: "forbid importing math/rand and crypto/rand outside internal/sim/rng.go; " +
+		"draw randomness from Engine.RNG so runs stay seed-reproducible",
+	Scope: nil, // every package
+	Run:   runRNGSource,
+}
+
+func runRNGSource(pass *Pass) error {
+	simRNGFile := strings.HasSuffix(pass.Pkg.Path(), "internal/sim") || pass.Pkg.Path() == "internal/sim"
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		sanctioned := simRNGFile && filepath.Base(file) == "rng.go"
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !rngBannedImports[path] {
+				continue
+			}
+			if sanctioned {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %q outside internal/sim/rng.go; use Engine.RNG(name) so every draw comes from the run's seed",
+				path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simClockBanned lists the package time functions that read or wait on the
+// wall clock. Constants (time.Second) and types (time.Duration — the
+// definition of sim.Time) remain allowed: they carry no nondeterminism.
+var simClockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// SimClock forbids wall-clock access in simulation packages. Every figure in
+// internal/expt replays from a seed; one time.Now() makes the replay depend
+// on the host scheduler and silently invalidates the admission-accuracy
+// comparisons (Figures 8–9). Simulation code must consume sim.Time from the
+// engine (Engine.Now, Proc.Sleep, Engine.At/After).
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/Sleep/Since/Until/After/AfterFunc/Tick/NewTimer/NewTicker " +
+		"in simulation packages; use the sim engine's virtual clock instead",
+	Scope: suffixScope(
+		"internal/core", "internal/disk", "internal/ufs", "internal/media",
+		"internal/expt", "internal/workload", "internal/rtm", "internal/nps",
+	),
+	Run: runSimClock,
+}
+
+func runSimClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if simClockBanned[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock; simulation code must use the sim engine's virtual time (Engine.Now, Proc.Sleep, Engine.At/After)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

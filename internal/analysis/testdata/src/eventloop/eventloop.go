@@ -1,0 +1,92 @@
+package eventloop
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+var done bool
+
+// Event callbacks run interleaved with the engine: no goroutines, channel
+// traffic, locks, or loops that never hand control back.
+func badCallback(e *sim.Engine, mu *sync.Mutex, ch chan int) {
+	e.After(5, func() {
+		go drain(ch)   // want "goroutine spawn inside sim callback"
+		ch <- 1        // want "channel send inside sim callback"
+		<-ch           // want "channel receive inside sim callback"
+		mu.Lock()      // want "sync.Mutex.Lock inside sim callback"
+		for range ch { // want "range over channel inside sim callback"
+		}
+		select { // want "select inside sim callback"
+		default:
+		}
+		for { // want "unbounded for loop inside sim callback"
+			done = !done
+		}
+	})
+}
+
+// A loop with a reachable exit is fine.
+func boundedCallback(e *sim.Engine) {
+	e.At(0, func() {
+		for {
+			if done {
+				break
+			}
+			done = true
+		}
+	})
+}
+
+// Process bodies may loop forever as long as each iteration yields through
+// the scheduler handle.
+func pump(e *sim.Engine) {
+	e.Spawn("pump", func(p *sim.Proc) {
+		for {
+			p.Sleep(1)
+		}
+	})
+}
+
+// A process loop that never touches its scheduler handle spins the engine.
+func spin(e *sim.Engine) {
+	e.Spawn("spin", func(p *sim.Proc) {
+		n := 0
+		for { // want "unbounded for loop inside sim callback"
+			n++
+		}
+	})
+}
+
+type manager struct {
+	e  *sim.Engine
+	ch chan int
+}
+
+// Callbacks passed as method values are resolved to their declarations.
+func (m *manager) tick() {
+	m.ch <- 1 // want "channel send inside sim callback tick"
+}
+
+func (m *manager) start() {
+	m.e.After(1, m.tick)
+}
+
+// Functions taking a scheduler handle are process bodies even when they are
+// not passed to the engine directly.
+func helperBody(p *sim.Proc, ch chan int) {
+	<-ch // want "channel receive inside process body helperBody"
+}
+
+func sanctioned(e *sim.Engine, ch chan int) {
+	e.After(1, func() {
+		//crasvet:allow eventloop -- fixture: sanctioned bridge to the host
+		go drain(ch)
+	})
+}

@@ -1,0 +1,12 @@
+// Package fakedisk stands in for internal/disk and internal/ufs in the
+// ioerrcheck fixtures.
+package fakedisk
+
+type File struct{}
+
+func (f *File) Close() error                             { return nil }
+func (f *File) WriteAt(b []byte, off int64) (int, error) { return len(b), nil }
+
+func Sync() error                          { return nil }
+func ReadSector(lba int64) ([]byte, error) { return nil, nil }
+func SectorCount() int                     { return 0 }

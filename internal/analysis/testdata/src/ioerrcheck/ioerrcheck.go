@@ -1,0 +1,29 @@
+package ioerrcheck
+
+import "ioerrcheck/fakedisk"
+
+func discards(f *fakedisk.File) {
+	fakedisk.Sync()               // want "error result of fakedisk.Sync discarded"
+	f.Close()                     // want "error result of fakedisk.File.Close discarded"
+	defer f.Close()               // want "error result of fakedisk.File.Close discarded by defer"
+	_ = fakedisk.Sync()           // want "error result of fakedisk.Sync assigned to _"
+	n, _ := f.WriteAt(nil, 0)     // want "error result of fakedisk.File.WriteAt assigned to _"
+	_, _ = fakedisk.ReadSector(0) // want "error result of fakedisk.ReadSector assigned to _"
+	_ = n
+}
+
+func handled(f *fakedisk.File) error {
+	if err := fakedisk.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(nil, 0); err != nil {
+		return err
+	}
+	// Error-free results are no business of the analyzer's.
+	_ = fakedisk.SectorCount()
+	return f.Close()
+}
+
+func sanctioned(f *fakedisk.File) {
+	defer f.Close() //crasvet:allow ioerrcheck -- fixture: read-only close
+}

@@ -1,0 +1,8 @@
+// Package rngflagged mirrors the rngexempt fixture outside internal/sim:
+// naming a file rng.go does not sanction the import on its own.
+package rngflagged
+
+import "math/rand" // want "import of .math/rand. outside internal/sim/rng.go"
+
+// New mirrors rngexempt.New.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,9 @@
+package rngsource
+
+import (
+	_ "crypto/rand" // want "import of .crypto/rand. outside internal/sim/rng.go"
+	_ "math/rand"   // want "import of .math/rand. outside internal/sim/rng.go"
+
+	//crasvet:allow rngsource -- fixture: sanctioned exception
+	_ "math/rand/v2"
+)

@@ -1,0 +1,8 @@
+package simclock
+
+import wall "time"
+
+// An aliased import does not hide the wall clock from the type checker.
+func aliased() wall.Time {
+	return wall.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,31 @@
+package simclock
+
+import "time"
+
+// Constants and types from package time stay legal: sim.Time is defined as
+// time.Duration and carries no nondeterminism.
+const tick = 10 * time.Millisecond
+
+func durations(d time.Duration) time.Duration { return d + tick }
+
+func wallClock() time.Duration {
+	t0 := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(tick)          // want "time.Sleep reads the wall clock"
+	_ = time.Until(t0)        // want "time.Until reads the wall clock"
+	<-time.After(tick)        // want "time.After reads the wall clock"
+	_ = time.Tick(tick)       // want "time.Tick reads the wall clock"
+	_ = time.NewTimer(tick)   // want "time.NewTimer reads the wall clock"
+	_ = time.NewTicker(tick)  // want "time.NewTicker reads the wall clock"
+	time.AfterFunc(tick, nil) // want "time.AfterFunc reads the wall clock"
+	return time.Since(t0)     // want "time.Since reads the wall clock"
+}
+
+func indirect() {
+	// References (not just calls) are nondeterminism leaks too.
+	clock := time.Now // want "time.Now reads the wall clock"
+	_ = clock
+}
+
+func sanctioned() {
+	_ = time.Now() //crasvet:allow simclock -- fixture: sanctioned exception
+}

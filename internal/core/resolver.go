@@ -38,17 +38,23 @@ func (r unixResolver) ResolvePlayback(th *rtm.Thread, path string) ([]uint32, in
 	if err != nil {
 		return nil, 0, err
 	}
-	defer c.Close(fd)
+	defer c.Close(fd) //crasvet:allow ioerrcheck -- read-only fd; close cannot lose data
 	return c.BlockMap(fd)
 }
 
-func (r unixResolver) ResolveRecord(th *rtm.Thread, path string, size int64) ([]uint32, int64, error) {
+func (r unixResolver) ResolveRecord(th *rtm.Thread, path string, size int64) (blocks []uint32, frag int64, err error) {
 	c := ufs.NewClient(r.srv, th)
 	fd, err := c.Create(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer c.Close(fd)
+	defer func() {
+		// The fd was written through Create/Preallocate; a close failure
+		// must surface or the caller records a layout the disk never got.
+		if cerr := c.Close(fd); cerr != nil && err == nil {
+			blocks, frag, err = nil, 0, cerr
+		}
+	}()
 	if err := c.Preallocate(fd, size); err != nil {
 		return nil, 0, err
 	}

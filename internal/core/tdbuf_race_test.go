@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestTDBufferConcurrentStress hammers one TDBuffer from two goroutines the
+// way a shared-memory embedding would: a producer stamping chunks and
+// advancing the logical clock, and a consumer issuing crs_get at a
+// mismatched, drifting rate. The buffer itself is documented as
+// engine-serialized, so the test guards it with one mutex — which is
+// exactly what the test proves race-clean under `go test -race` — and it
+// asserts the paper's time-driven invariant throughout: Get never delivers
+// a chunk the logical clock has already expired.
+func TestTDBufferConcurrentStress(t *testing.T) {
+	const (
+		chunks = 5000
+		size   = 1000
+	)
+	var (
+		dur    = sim.Time(time.Millisecond)
+		jitter = sim.Time(50 * time.Millisecond)
+	)
+	buf := NewTDBuffer(1<<20, jitter)
+
+	var (
+		mu      sync.Mutex
+		now     sim.Time // producer's logical clock; guarded by mu
+		horizon sim.Time // last time-driven discard horizon; guarded by mu
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Producer: one chunk per tick, discarding obsolete chunks first, the
+	// way the request scheduler stamps each interval's data.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < chunks; i++ {
+			mu.Lock()
+			now = sim.Time(i) * dur
+			horizon = now - jitter
+			buf.DiscardBefore(horizon)
+			ok := buf.Insert(BufferedChunk{
+				Index:     i,
+				Timestamp: now,
+				Duration:  dur,
+				Size:      size,
+				StampedAt: now,
+			})
+			mu.Unlock()
+			if !ok {
+				t.Errorf("insert %d refused: time-driven discard should always leave room", i)
+				return
+			}
+		}
+	}()
+
+	// Consumer: reads around the producer's clock at a deliberately
+	// mismatched rate — sweeping from inside the jitter window to ahead of
+	// the producer — so it sees hits, misses, and near-expiry chunks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			logical := now - jitter + sim.Time(i%83)*dur
+			if c, ok := buf.Get(logical); ok {
+				if c.Timestamp < horizon {
+					t.Errorf("expired chunk delivered: timestamp %v < horizon %v", c.Timestamp, horizon)
+				}
+				if logical < c.Timestamp || logical >= c.Timestamp+c.Duration {
+					t.Errorf("chunk [%v,%v) does not cover requested logical time %v",
+						c.Timestamp, c.Timestamp+c.Duration, logical)
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+
+	if buf.Inserted != chunks {
+		t.Errorf("Inserted = %d, want %d", buf.Inserted, chunks)
+	}
+	if buf.Overflowed != 0 {
+		t.Errorf("Overflowed = %d, want 0", buf.Overflowed)
+	}
+	// The newest chunk is still inside the jitter window and must be
+	// resident once the goroutines have quiesced.
+	last := sim.Time(chunks-1) * dur
+	if _, ok := buf.Get(last); !ok {
+		t.Errorf("newest chunk (timestamp %v) not resident after stress", last)
+	}
+}

@@ -172,7 +172,7 @@ func LoadContainer(c *ufs.Client, path string) ([]Track, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer c.Close(fd)
+	defer c.Close(fd) //crasvet:allow ioerrcheck -- read-only fd; close cannot lose data
 	// The index atom size is block-aligned; read the first block to learn
 	// the track count, then enough blocks to cover the whole atom.
 	head, err := c.Read(fd, 0, ufs.BlockSize)

@@ -47,7 +47,7 @@ func Load(c *ufs.Client, path string) (*StreamInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer c.Close(fd)
+	defer c.Close(fd) //crasvet:allow ioerrcheck -- read-only fd; close cannot lose data
 	data, err := c.Read(fd, 0, int(st.Size))
 	if err != nil {
 		return nil, err

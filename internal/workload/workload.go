@@ -147,7 +147,7 @@ func UFSPlayer(k *rtm.Kernel, srv *ufs.Server, info *media.StreamInfo, path stri
 		if err != nil {
 			return
 		}
-		defer c.Close(fd)
+		defer c.Close(fd) //crasvet:allow ioerrcheck -- read-only fd; close cannot lose data
 		frames := len(info.Chunks)
 		if cfg.MaxFrames > 0 && cfg.MaxFrames < frames {
 			frames = cfg.MaxFrames
