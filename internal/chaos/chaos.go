@@ -1,0 +1,373 @@
+// Package chaos is the deterministic fault-injection campaign: seeded
+// scenarios that combine the structured disk fault model with concurrent
+// stream workloads, asserting the recovery engine's invariants — no expired
+// chunk is ever delivered, the scheduler never wedges, and a faulty stream
+// degrades without costing its healthy peers a single frame. Every scenario
+// derives its randomness from the engine seed, so any failure replays
+// bit-for-bit from the seed printed with it.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lab"
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+)
+
+// Campaign shape. The interval is the paper's 500 ms; the initial delay is
+// stretched to 2 s so the buffer lead absorbs recoverable disturbances —
+// the same capacity-for-resilience trade the paper's 3-second-delay
+// discussion makes.
+const (
+	interval     = 500 * time.Millisecond
+	initialDelay = 2 * time.Second
+	movieDur     = 6 * time.Second
+	playerGiveUp = 5 // frame durations of per-frame wait budget
+)
+
+// Scenario is one seeded chaos run: a fault configuration against a number
+// of concurrent streams.
+type Scenario struct {
+	Name    string
+	Seed    int64
+	Streams int
+
+	// Faults is injected into the disk under all streams. RTOnly is forced
+	// on, so file-system setup traffic stays clean.
+	Faults disk.FaultConfig
+
+	// Victim poisons stream 0's disk layout from its second extent to the
+	// end of the file — a persistent bad-block region that must walk that
+	// stream down the degradation ladder while its peers play untouched.
+	Victim bool
+
+	// ZeroLoss asserts that no player loses any frame — for scenarios whose
+	// faults the retry budget and buffer lead must fully absorb.
+	ZeroLoss bool
+}
+
+// PlayerOutcome is one stream's delivery record.
+type PlayerOutcome struct {
+	Path     string
+	Frames   int
+	Obtained int
+	Lost     int
+	Health   core.StreamHealth
+}
+
+// Result is everything one scenario run produced, including the invariant
+// violations (empty means the scenario passed).
+type Result struct {
+	Scenario Scenario
+	Elapsed  sim.Time
+	Server   core.Stats
+	Disk     disk.Stats
+	Faults   disk.FaultStats
+	Players  []PlayerOutcome
+	Ladder   []core.StreamHealthEvent
+
+	Violations []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Result) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// playerState is the live view a player thread fills in.
+type playerState struct {
+	h        *core.Handle
+	path     string
+	obtained int
+	lost     int
+	done     bool
+}
+
+// Run executes one scenario to completion and checks its invariants.
+func Run(sc Scenario) *Result {
+	res := &Result{Scenario: sc}
+	if sc.Streams < 1 {
+		res.violate("scenario has no streams")
+		return res
+	}
+
+	paths := make([]string, sc.Streams)
+	infos := make([]*media.StreamInfo, sc.Streams)
+	var movies []lab.Movie
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/c%02d", i)
+		infos[i] = media.MPEG1().Generate(paths[i], movieDur)
+		movies = append(movies, lab.Movie{Path: paths[i], Info: infos[i]})
+	}
+
+	players := make([]*playerState, sc.Streams)
+	for i := range players {
+		players[i] = &playerState{path: paths[i]}
+	}
+
+	var model *disk.FaultModel
+	var serverStart sim.Time
+	m := lab.Build(lab.Setup{
+		Seed: sc.Seed,
+		CRAS: core.Config{
+			Interval:     interval,
+			InitialDelay: initialDelay,
+			BufferBudget: 64 << 20,
+			// The 2 s delay enables whole-extent (256 KB) reads, so even a
+			// fully poisoned file yields only a handful of hard failures;
+			// two of them while already degraded is conclusive at this
+			// scale, where the default (4) lets a short movie run out of
+			// region before the ladder finishes.
+			Recovery: core.RecoveryPolicy{SuspendAfter: 2},
+		},
+		Movies: movies,
+	}, func(m *lab.Machine) {
+		serverStart = m.Eng.Now()
+		m.CRAS.OnStreamHealth = func(ev core.StreamHealthEvent) {
+			res.Ladder = append(res.Ladder, ev)
+		}
+		m.App("chaos.ctl", rtm.PrioRTLow, 0, func(th *rtm.Thread) {
+			// Open every stream first: the victim region is carved from
+			// stream 0's actual extent map, and installing the model after
+			// the opens keeps the resolver's metadata reads clean even
+			// before RTOnly applies.
+			for i := range players {
+				h, err := m.CRAS.Open(th, infos[i], paths[i], core.OpenOptions{})
+				if err != nil {
+					res.violate("open %s: %v", paths[i], err)
+					return
+				}
+				players[i].h = h
+			}
+			cfg := sc.Faults
+			cfg.RTOnly = true
+			if sc.Victim {
+				ext := players[0].h.ExtentMap().Extents
+				from, last := ext[1], ext[len(ext)-1]
+				cfg.BadRegions = append(cfg.BadRegions, disk.BadRegion{
+					LBA: from.LBA, Sectors: last.LBA + int64(last.Sectors) - from.LBA,
+				})
+			}
+			model = disk.NewFaultModel(m.Eng.RNG("chaos:faults"), cfg)
+			m.Disk.SetFaultModel(model)
+			for i := range players {
+				ps := players[i]
+				info := infos[i]
+				m.Kernel.NewThread("chaos.play:"+ps.path, rtm.PrioRTLow, 0, func(pt *rtm.Thread) {
+					playStream(m, pt, ps, info, res)
+				})
+			}
+		})
+	})
+
+	// Drive until every player finishes, then a short cool-down so the
+	// watchdog clears any stall injected near the end.
+	horizon := sim.Time(movieDur + initialDelay + 20*time.Second)
+	for ran := sim.Time(0); ran < horizon; ran += interval {
+		m.Run(interval)
+		if allDone(players) {
+			break
+		}
+	}
+	m.Run(3 * time.Second)
+	if err := m.Err(); err != nil {
+		res.violate("machine setup failed: %v", err)
+		return res
+	}
+
+	res.Elapsed = m.Eng.Now() - serverStart
+	res.Server = m.CRAS.Stats()
+	res.Disk = m.Disk.Stats()
+	if model != nil {
+		res.Faults = model.Stats()
+	}
+	for _, ps := range players {
+		out := PlayerOutcome{Path: ps.path, Frames: len(infos[0].Chunks), Obtained: ps.obtained, Lost: ps.lost}
+		if ps.h != nil {
+			out.Health = ps.h.Health()
+		}
+		res.Players = append(res.Players, out)
+	}
+
+	res.checkInvariants(m, players)
+	return res
+}
+
+func allDone(players []*playerState) bool {
+	for _, ps := range players {
+		if !ps.done {
+			return false
+		}
+	}
+	return true
+}
+
+// playStream consumes one stream frame by frame, recording deliveries and
+// checking the freshness invariant on every obtained chunk.
+func playStream(m *lab.Machine, pt *rtm.Thread, ps *playerState, info *media.StreamInfo, res *Result) {
+	defer func() { ps.done = true }()
+	h := ps.h
+	if err := h.Start(pt); err != nil {
+		res.violate("%s: start: %v", ps.path, err)
+		return
+	}
+	for i := range info.Chunks {
+		c := info.Chunks[i]
+		due := h.ClockStartsAt(c.Timestamp)
+		if due < 0 {
+			// Clock frozen: the stream was suspended or stopped. The frame
+			// will never come due; count it lost and move on at the frame
+			// cadence rather than spinning.
+			ps.lost++
+			pt.Sleep(c.Duration)
+			continue
+		}
+		if m.Kernel.Now() < due {
+			pt.SleepUntil(due)
+		}
+		limit := due + playerGiveUp*c.Duration
+		for {
+			if got, ok := h.Get(c.Timestamp); ok {
+				// Invariant: the buffer never hands out an expired chunk —
+				// whatever Get returns must cover the requested time.
+				if got.Timestamp > c.Timestamp || c.Timestamp >= got.Timestamp+got.Duration {
+					res.violate("%s: frame %d: expired chunk delivered: asked t=%v, got [%v,%v)",
+						ps.path, i, c.Timestamp, got.Timestamp, got.Timestamp+got.Duration)
+				}
+				ps.obtained++
+				break
+			}
+			if m.Kernel.Now() >= limit {
+				ps.lost++
+				break
+			}
+			pt.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// checkInvariants fills Result.Violations from the campaign's assertions.
+func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
+	// Every player ran to completion: a wedged scheduler starves the
+	// buffers and the players' bounded waits would still finish, so the
+	// direct wedge signal is a player that never exited its loop.
+	for _, ps := range players {
+		if !ps.done {
+			r.violate("%s: player never finished (scheduler wedged?)", ps.path)
+		}
+	}
+
+	// The periodic scheduler kept its cadence for the whole run.
+	minCycles := int(r.Elapsed/interval) - 3
+	if r.Server.Cycles < minCycles {
+		r.violate("scheduler wedged: %d cycles over %v (want >= %d)", r.Server.Cycles, r.Elapsed, minCycles)
+	}
+
+	// No request may be left stalled: the cool-down gave the watchdog more
+	// than its timeout to clear any late injection.
+	if m.Disk.Stalled() {
+		r.violate("disk left wedged on a stalled request")
+	}
+	if r.Faults.Stalls > 0 && r.Server.WatchdogCancels == 0 {
+		r.violate("%d stalls injected but the watchdog never fired", r.Faults.Stalls)
+	}
+
+	if r.Scenario.Victim {
+		victim := r.Players[0]
+		if victim.Health == core.Healthy {
+			r.violate("victim stream still healthy over a persistent bad region")
+		}
+		for _, p := range r.Players[1:] {
+			if p.Lost != 0 {
+				r.violate("%s: healthy peer lost %d frames while the victim degraded", p.Path, p.Lost)
+			}
+		}
+		if r.Server.StreamsDegraded == 0 {
+			r.violate("victim never entered Degraded")
+		}
+	}
+
+	for i, p := range r.Players {
+		if r.Scenario.Victim && i == 0 {
+			continue // the victim is expected to lose its poisoned range
+		}
+		if p.Obtained == 0 {
+			r.violate("%s: no frames delivered at all", p.Path)
+		}
+		if r.Scenario.ZeroLoss && p.Lost != 0 {
+			r.violate("%s: lost %d frames in a zero-loss scenario", p.Path, p.Lost)
+		}
+		if p.Lost > p.Frames/2 {
+			r.violate("%s: lost %d/%d frames — server effectively down", p.Path, p.Lost, p.Frames)
+		}
+	}
+}
+
+// Campaign builds the full scenario sweep: every fault kind crossed with
+// 1, 2 and 4 concurrent streams, scenario seeds derived deterministically
+// from the base seed (so `-seed N` replays the exact campaign).
+func Campaign(base int64) []Scenario {
+	kinds := []struct {
+		name     string
+		faults   disk.FaultConfig
+		victim   bool
+		zeroLoss bool
+	}{
+		{"baseline", disk.FaultConfig{}, false, true},
+		{"transient-light", disk.FaultConfig{TransientProb: 0.02}, false, true},
+		{"transient-heavy", disk.FaultConfig{TransientProb: 0.15}, false, false},
+		{"latency-mild", disk.FaultConfig{
+			LatencyProb: 0.5, LatencyMin: time.Millisecond, LatencyMax: 10 * time.Millisecond,
+		}, false, true},
+		{"latency-spikes", disk.FaultConfig{
+			LatencyProb: 0.1, LatencyMin: 30 * time.Millisecond, LatencyMax: 80 * time.Millisecond,
+		}, false, false},
+		{"stall-once", disk.FaultConfig{StallProb: 1, MaxStalls: 1}, false, false},
+		{"stall-repeat", disk.FaultConfig{StallProb: 0.3, MaxStalls: 3}, false, false},
+		{"bad-region-victim", disk.FaultConfig{}, true, false},
+		{"victim-plus-transient", disk.FaultConfig{TransientProb: 0.05}, true, false},
+		{"grab-bag", disk.FaultConfig{
+			TransientProb: 0.05,
+			LatencyProb:   0.2, LatencyMin: 5 * time.Millisecond, LatencyMax: 25 * time.Millisecond,
+			StallProb: 0.1, MaxStalls: 2,
+		}, false, false},
+	}
+	counts := []int{1, 2, 4}
+	var out []Scenario
+	for i, k := range kinds {
+		for j, n := range counts {
+			if k.victim && n == 1 {
+				n = 3 // a victim needs healthy peers to endanger
+			}
+			out = append(out, Scenario{
+				Name:     fmt.Sprintf("%s/s%d", k.name, n),
+				Seed:     base*1000 + int64(i*len(counts)+j),
+				Streams:  n,
+				Faults:   k.faults,
+				Victim:   k.victim,
+				ZeroLoss: k.zeroLoss,
+			})
+		}
+	}
+	return out
+}
+
+// Quick returns the CI subset: one stream count per fault kind, small
+// enough for a pull-request gate yet covering every fault path.
+func Quick(base int64) []Scenario {
+	all := Campaign(base)
+	var out []Scenario
+	for _, sc := range all {
+		if sc.Streams == 2 {
+			out = append(out, sc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestQuickScenarios runs the CI subset end to end: every fault kind at two
+// streams, each asserting the campaign's invariants.
+func TestQuickScenarios(t *testing.T) {
+	for _, sc := range Quick(1) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := Run(sc)
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("replay: go run ./cmd/craschaos -seed 1 -only '%s'", sc.Name)
+			}
+		})
+	}
+}
+
+// TestCampaignShape pins the sweep's size and seed derivation: the
+// acceptance bar is >= 20 seeded scenarios, and every scenario must carry a
+// distinct (name, seed) pair so a printed failure replays exactly one run.
+func TestCampaignShape(t *testing.T) {
+	all := Campaign(7)
+	if len(all) < 20 {
+		t.Fatalf("campaign has %d scenarios, want >= 20", len(all))
+	}
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, sc := range all {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		if seeds[sc.Seed] {
+			t.Errorf("duplicate scenario seed %d (%s)", sc.Seed, sc.Name)
+		}
+		names[sc.Name] = true
+		seeds[sc.Seed] = true
+	}
+	if got := Campaign(8)[0].Seed; got == all[0].Seed {
+		t.Errorf("base seed does not reach scenario seeds: both bases derive %d", got)
+	}
+}
+
+// TestRunIsDeterministic replays one faulty scenario twice and demands
+// bit-identical results — the property that makes a printed seed a real
+// repro and the whole campaign debuggable.
+func TestRunIsDeterministic(t *testing.T) {
+	var sc Scenario
+	for _, c := range Campaign(3) {
+		if c.Name == "grab-bag/s2" {
+			sc = c
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("grab-bag/s2 not in campaign")
+	}
+	a, b := Run(sc), Run(sc)
+	if a.Failed() || b.Failed() {
+		t.Fatalf("scenario failed: %v / %v", a.Violations, b.Violations)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if !reflect.DeepEqual(a.Server, b.Server) {
+		t.Errorf("server stats differ:\n%+v\n%+v", a.Server, b.Server)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Errorf("fault stats differ:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if !reflect.DeepEqual(a.Players, b.Players) {
+		t.Errorf("player outcomes differ:\n%+v\n%+v", a.Players, b.Players)
+	}
+	if !reflect.DeepEqual(a.Ladder, b.Ladder) {
+		t.Errorf("health ladders differ:\n%+v\n%+v", a.Ladder, b.Ladder)
+	}
+}

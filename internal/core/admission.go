@@ -178,6 +178,14 @@ func (a AdmissionParams) CalculatedIOTime(n int, bytes int64) sim.Time {
 	return a.TotalOverhead(n) + sim.Time(float64(bytes)/a.D*float64(time.Second))
 }
 
+// OpCost bounds the disk time one extra operation of the given size can
+// consume: worst-case seek, one rotation, command overhead, and the media
+// transfer. The recovery engine charges this against the interval's spare
+// time before re-issuing a failed read.
+func (a AdmissionParams) OpCost(bytes int64) sim.Time {
+	return a.TseekMax + a.Trot + a.Tcmd + sim.Time(float64(bytes)/a.D*float64(time.Second))
+}
+
 // MaxStreams returns how many identical streams the configuration admits —
 // the capacity curves quoted in the evaluation (e.g. >25 MPEG1 streams at a
 // 3 s initial delay).

@@ -119,5 +119,10 @@ func (h *Handle) BufferStats() *TDBuffer { return h.st.buf }
 // StreamStats returns a copy of the per-stream counters.
 func (h *Handle) StreamStats() StreamStats { return h.st.stats }
 
+// Health returns the session's position on the degradation ladder. Like
+// Get, it reads shared state directly and may be called from any engine
+// context; a ladder transition also arrives via Server.OnStreamHealth.
+func (h *Handle) Health() StreamHealth { return h.st.health }
+
 // ExtentMap returns the session's disk layout view.
 func (h *Handle) ExtentMap() *ExtentMap { return h.st.ext }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StreamHealth is a stream's position on the graceful-degradation ladder.
+// The ladder only ever protects the rest of the server: each step trades
+// more of the sick stream's service for less interference with its peers.
+type StreamHealth int
+
+const (
+	// Healthy streams get full service: failed reads are retried while the
+	// interval's spare time allows.
+	Healthy StreamHealth = iota
+
+	// Degraded streams drop failed chunks immediately — no retries — but
+	// keep their logical clock and keep fetching. Playback continues with
+	// holes. A run of clean cycles promotes the stream back to Healthy.
+	Degraded
+
+	// Suspended streams stop fetching and their logical clock freezes; the
+	// buffer keeps whatever had arrived. A stream that stays suspended is
+	// evicted after RecoveryPolicy.EvictAfter.
+	Suspended
+
+	// Evicted streams are closed: their admission capacity and buffer
+	// memory are released. Terminal.
+	Evicted
+)
+
+func (h StreamHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Suspended:
+		return "suspended"
+	case Evicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("StreamHealth(%d)", int(h))
+}
+
+// RecoveryPolicy tunes the deadline manager's recovery engine. Zero values
+// select defaults; durations that depend on the interval T are resolved in
+// Config.fillDefaults.
+type RecoveryPolicy struct {
+	// MaxRetries caps how often one read is re-issued. Default 3.
+	MaxRetries int
+
+	// WatchdogTimeout is how long a submitted request may go without a
+	// completion before the watchdog cancels it. Default 2*Interval: an
+	// admitted batch finishes within its interval, so a request twice that
+	// old has lost its completion interrupt.
+	WatchdogTimeout sim.Time
+
+	// DegradeAfter is how many unrecovered (post-retry) read failures move
+	// a Healthy stream to Degraded. Default 1: a healthy stream has none.
+	DegradeAfter int
+
+	// SuspendAfter is how many further failures while Degraded move the
+	// stream to Suspended. Default 4.
+	SuspendAfter int
+
+	// RecoverCycles is how many consecutive clean cycles promote a
+	// Degraded stream back to Healthy. Default 8.
+	RecoverCycles int
+
+	// EvictAfter is how long a stream may stay Suspended before it is
+	// evicted and its resources released. Default 4*Interval.
+	EvictAfter sim.Time
+
+	// ShedAfter is how many consecutive interval batches must overrun
+	// their I/O deadline before the server sheds load by evicting the
+	// worst-health stream. Only streams already off the top of the ladder
+	// are candidates: all-healthy overruns mean the operator force-opened
+	// past admission (or background load spiked) and shedding would not
+	// help the streams it is meant to protect. Default 3.
+	ShedAfter int
+}
+
+func (p *RecoveryPolicy) fillDefaults(interval sim.Time) {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.WatchdogTimeout == 0 {
+		p.WatchdogTimeout = 2 * interval
+	}
+	if p.DegradeAfter == 0 {
+		p.DegradeAfter = 1
+	}
+	if p.SuspendAfter == 0 {
+		p.SuspendAfter = 4
+	}
+	if p.RecoverCycles == 0 {
+		p.RecoverCycles = 8
+	}
+	if p.EvictAfter == 0 {
+		p.EvictAfter = 4 * interval
+	}
+	if p.ShedAfter == 0 {
+		p.ShedAfter = 3
+	}
+}
+
+// StreamHealthEvent is posted to the deadline manager (the miss-notification
+// channel) whenever a stream moves on the degradation ladder, and is what
+// the OnStreamHealth callback receives.
+type StreamHealthEvent struct {
+	StreamID int
+	Path     string
+	From, To StreamHealth
+	Cycle    int
+	Reason   string
+}
+
+// IOStall is sent to the deadline manager when the I/O watchdog cancels a
+// request whose completion never arrived; Age is how long the request had
+// been outstanding.
+type IOStall struct {
+	Cycle int
+	Age   sim.Time
+}
+
+// retrySpare is the admission model's spare interval time: T minus the
+// calculated worst-case I/O time of the open set's steady-state batch
+// (formula (10) over N streams reading A_i = T*R_i + C_i each). Retries may
+// consume only this slack, so recovery can never take time the admission
+// test promised to healthy streams. An oversubscribed (force-opened) server
+// has no slack and gets no retries.
+func (s *Server) retrySpare() sim.Time {
+	n := 0
+	var bytes int64
+	for _, st := range s.streams {
+		if st.closed {
+			continue
+		}
+		n++
+		bytes += int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
+	}
+	if n == 0 {
+		return s.cfg.Interval
+	}
+	used := s.cfg.Params.CalculatedIOTime(n, bytes)
+	if used >= s.cfg.Interval {
+		return 0
+	}
+	return s.cfg.Interval - used
+}
+
+// retryAllowed decides whether a failed read is re-issued, charging its
+// worst-case cost against the cycle's remaining retry budget.
+func (s *Server) retryAllowed(tag *readTag, budget *sim.Time) bool {
+	if tag.s.health != Healthy {
+		return false // degraded and worse drop failed chunks immediately
+	}
+	if tag.retries >= s.cfg.Recovery.MaxRetries {
+		return false
+	}
+	cost := s.cfg.Params.OpCost(tag.hi - tag.lo)
+	if cost > *budget {
+		s.stats.RetriesDenied++
+		return false
+	}
+	*budget -= cost
+	return true
+}
+
+// watchdogScan cancels in-flight requests whose completion is overdue. A
+// canceled request completes with disk.ErrAborted and flows through the
+// normal I/O-done path, so the scheduler's bookkeeping (cycle accounting,
+// retry policy, health ladder) sees it like any other failure — the cycle
+// never wedges waiting for an interrupt that will not come.
+func (s *Server) watchdogScan(now sim.Time, cycle int) {
+	for _, tag := range s.inflight {
+		age := now - tag.issuedAt
+		if age < s.cfg.Recovery.WatchdogTimeout {
+			continue
+		}
+		if tag.req == nil || !s.d.Cancel(tag.req) {
+			// Not the stalled in-service request: it is queued behind one,
+			// and canceling the head is what unblocks it.
+			continue
+		}
+		s.stats.WatchdogCancels++
+		tag.s.stats.WatchdogCancels++
+		s.deadlinePort.Send(IOStall{Cycle: cycle, Age: age})
+	}
+}
+
+// updateStreamHealth advances every stream's ladder position from the hard
+// failures the cycle just absorbed. Runs once per scheduler cycle.
+func (s *Server) updateStreamHealth(now sim.Time) {
+	pol := s.cfg.Recovery
+	for _, st := range s.streams {
+		if st.closed {
+			continue
+		}
+		errs := st.cycleErrs
+		st.cycleErrs = 0
+		switch st.health {
+		case Healthy:
+			if errs == 0 {
+				if st.windowErrs > 0 {
+					st.windowErrs-- // old failures age out
+				}
+				continue
+			}
+			st.windowErrs += errs
+			if st.windowErrs >= pol.DegradeAfter {
+				st.degradedErrs = 0
+				st.cleanCycles = 0
+				s.setHealth(st, Degraded, fmt.Sprintf("%d unrecovered read failures", st.windowErrs))
+			}
+		case Degraded:
+			if errs > 0 {
+				st.degradedErrs += errs
+				st.cleanCycles = 0
+				if st.degradedErrs >= pol.SuspendAfter {
+					st.suspendedAt = now
+					st.clock.Stop(now)
+					s.setHealth(st, Suspended, fmt.Sprintf("%d failures while degraded", st.degradedErrs))
+				}
+				continue
+			}
+			st.cleanCycles++
+			if st.cleanCycles >= pol.RecoverCycles {
+				st.windowErrs = 0
+				s.setHealth(st, Healthy, fmt.Sprintf("%d clean cycles", st.cleanCycles))
+			}
+		case Suspended:
+			if now-st.suspendedAt >= pol.EvictAfter {
+				s.evict(st, "suspension timed out")
+			}
+		}
+	}
+}
+
+// setHealth moves a stream on the ladder and notifies the deadline manager.
+func (s *Server) setHealth(st *stream, to StreamHealth, reason string) {
+	from := st.health
+	st.health = to
+	s.deadlinePort.Send(StreamHealthEvent{
+		StreamID: st.id, Path: st.name, From: from, To: to, Cycle: s.cycle, Reason: reason,
+	})
+}
+
+// evict closes a stream from the server side: in-flight reads are
+// invalidated, admission capacity and buffer memory are released.
+func (s *Server) evict(st *stream, reason string) {
+	st.closed = true
+	st.gen++
+	s.setHealth(st, Evicted, reason)
+}
+
+// shedWorstStream implements server-wide load shedding: when consecutive
+// interval batches overrun their I/O deadline, the aggregate promise to
+// every stream is at risk, and the deadline manager sacrifices the stream
+// already in the worst health to protect the rest. Returns false when no
+// stream is off the top of the ladder (nothing useful to shed).
+func (s *Server) shedWorstStream(cycle int) bool {
+	var worst *stream
+	for _, st := range s.streams {
+		if st.closed || st.health == Healthy {
+			continue
+		}
+		if worst == nil ||
+			st.health > worst.health ||
+			(st.health == worst.health && st.stats.ReadErrors > worst.stats.ReadErrors) {
+			worst = st
+		}
+	}
+	if worst == nil {
+		return false
+	}
+	s.stats.ShedEvictions++
+	s.evict(worst, fmt.Sprintf("load shed after %d consecutive I/O overruns", s.cfg.Recovery.ShedAfter))
+	return true
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// Unix file system's behaviour.
 	NoRTQueue bool
 
+	// Recovery tunes the deadline manager's recovery engine (retry budget,
+	// I/O watchdog, degradation ladder); zero values select defaults.
+	Recovery RecoveryPolicy
+
 	Params AdmissionParams
 }
 
@@ -80,6 +84,7 @@ func (c *Config) fillDefaults() {
 	if c.SignalPrio == 0 {
 		c.SignalPrio = rtm.PrioRTLow
 	}
+	c.Recovery.fillDefaults(c.Interval)
 }
 
 // cycleStat tracks one scheduler interval's disk batch for the admission
@@ -124,7 +129,14 @@ type Stats struct {
 	ThreadDeadlineMiss int
 	IODeadlineMiss     int
 	AdmissionRejects   int
-	ReadErrors         int64 // reads that failed even after retry
+	ReadErrors         int64 // reads that failed even after the retry budget
+	ReadRetries        int64 // re-issued reads, across all streams
+	RetriesDenied      int64 // retries refused because the spare-time budget ran out
+	WatchdogCancels    int64 // stalled reads the I/O watchdog abandoned
+	StreamsDegraded    int   // ladder transitions into Degraded
+	StreamsSuspended   int   // ladder transitions into Suspended
+	StreamsEvicted     int   // ladder transitions into Evicted (sheds included)
+	ShedEvictions      int   // evictions forced by server-wide load shedding
 	Accuracy           []AccuracyRecord
 }
 
@@ -152,18 +164,29 @@ type Server struct {
 
 	schedThread *rtm.Thread
 
-	streams []*stream
-	nextID  int
-	doneQ   []*readTag
-	cycle   int
+	streams  []*stream
+	nextID   int
+	doneQ    []*readTag
+	inflight []*readTag // submitted reads awaiting completion (watchdog scan set)
+	cycle    int
+
+	// Consecutive-I/O-overrun tracking for server-wide shedding,
+	// maintained by the deadline manager thread.
+	overrunRun       int
+	lastOverrunCycle int
 
 	stopping bool
 	stats    Stats
 
 	// OnDeadlineMiss, if set, observes every deadline event (thread
-	// overruns and I/O overruns). The default recovery action matches the
-	// paper: note a warning and carry on.
+	// overruns, I/O overruns, and watchdog-detected stalls). The default
+	// recovery action matches the paper: note a warning and carry on.
 	OnDeadlineMiss func(kind string, cycle int, lateBy sim.Time)
+
+	// OnStreamHealth, if set, observes every transition on the per-stream
+	// degradation ladder — the client-facing notification the deadline
+	// manager emits alongside its miss warnings.
+	OnStreamHealth func(StreamHealthEvent)
 }
 
 // NewServer starts CRAS on the kernel in the paper's standard
@@ -220,7 +243,10 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 		}
 	})
 
-	// Deadline manager thread: the paper's recovery action is a warning.
+	// Deadline manager thread: the paper's recovery action for overruns is
+	// a warning; on top of that it runs the recovery engine's server-wide
+	// policy — stream-health notification and shedding under sustained
+	// aggregate overrun.
 	k.NewThread("cras.deadline", cfg.DeadlinePrio, cfg.Quantum, func(t *rtm.Thread) {
 		for !s.stopping {
 			switch m := s.deadlinePort.Receive(t).(type) {
@@ -228,8 +254,24 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 				s.stats.ThreadDeadlineMiss++
 				s.notifyMiss("scheduler-overrun", m.Cycle, m.LateBy)
 			case IOOverrun:
+				if s.stopping {
+					continue // shutdown wakeup, not a real overrun
+				}
 				s.stats.IODeadlineMiss++
 				s.notifyMiss("io-overrun", m.Cycle, m.LateBy)
+				if m.Cycle == s.lastOverrunCycle+1 {
+					s.overrunRun++
+				} else {
+					s.overrunRun = 1
+				}
+				s.lastOverrunCycle = m.Cycle
+				if s.overrunRun >= s.cfg.Recovery.ShedAfter && s.shedWorstStream(m.Cycle) {
+					s.overrunRun = 0
+				}
+			case IOStall:
+				s.notifyMiss("io-stall", m.Cycle, m.Age)
+			case StreamHealthEvent:
+				s.noteHealth(m)
 			}
 		}
 	})
@@ -254,6 +296,25 @@ func (s *Server) notifyMiss(kind string, cycle int, lateBy sim.Time) {
 		s.OnDeadlineMiss(kind, cycle, lateBy)
 	} else {
 		s.k.Engine().Tracef("cras: %s at cycle %d, late by %v", kind, cycle, lateBy)
+	}
+}
+
+// noteHealth is the deadline manager's half of a ladder transition: count
+// it and notify the client side.
+func (s *Server) noteHealth(ev StreamHealthEvent) {
+	switch ev.To {
+	case Degraded:
+		s.stats.StreamsDegraded++
+	case Suspended:
+		s.stats.StreamsSuspended++
+	case Evicted:
+		s.stats.StreamsEvicted++
+	}
+	if s.OnStreamHealth != nil {
+		s.OnStreamHealth(ev)
+	} else {
+		s.k.Engine().Tracef("cras: stream %d (%s) %s -> %s at cycle %d: %s",
+			ev.StreamID, ev.Path, ev.From, ev.To, ev.Cycle, ev.Reason)
 	}
 }
 
@@ -311,16 +372,26 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	s.cycle = cycle
 	s.stats.Cycles++
 
+	// Phase 0: the I/O watchdog. A request whose completion interrupt is
+	// overdue is canceled; the abort completes through the normal I/O-done
+	// path, so the cycle accounting below unwedges without special cases.
+	s.watchdogScan(now, cycle)
+
 	// Phase 1: absorb completions delivered by the I/O-done manager. A
-	// failed read gets one immediate retry; a second failure surrenders
-	// the byte range (the stream drops those chunks and plays on).
+	// failed read of a healthy stream is re-issued while the interval's
+	// spare time allows (the deadline-budgeted retry policy); past that
+	// budget the byte range is surrendered and the stream drops those
+	// chunks and plays on.
 	stamped := int64(0)
+	budget := s.retrySpare()
 	for _, tag := range s.doneQ {
+		s.removeInflight(tag)
 		live := tag.gen == tag.s.gen && !tag.s.closed
-		if live && tag.err != nil && !tag.retried {
-			tag.retried = true
+		if live && tag.err != nil && s.retryAllowed(tag, &budget) {
+			tag.retries++
 			tag.err = nil
 			tag.s.stats.ReadRetries++
+			s.stats.ReadRetries++
 			s.submitTag(tag)
 			continue // final accounting happens when the retry completes
 		}
@@ -329,6 +400,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			if tag.err != nil {
 				tag.failed = true
 				tag.s.stats.ReadErrors++
+				tag.s.cycleErrs++
 				s.stats.ReadErrors++
 			}
 		}
@@ -355,12 +427,16 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	}
 	s.stats.ChunksStamped += stamped
 
-	// Phase 2: collect the reads for the next interval.
+	// Advance the degradation ladder from the failures just absorbed.
+	s.updateStreamHealth(now)
+
+	// Phase 2: collect the reads for the next interval. Suspended streams
+	// stopped their clock and fetch nothing; eviction released the rest.
 	horizonAt := now + 2*s.cfg.Interval
 	var batch []*readTag
 	active := 0
 	for _, st := range s.streams {
-		if st.closed {
+		if st.closed || st.health >= Suspended {
 			continue
 		}
 		horizon := st.clock.At(horizonAt) + st.lead
@@ -409,9 +485,10 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	return !s.stopping
 }
 
-// submitTag issues (or re-issues) one raw disk operation for a tag.
+// submitTag issues (or re-issues) one raw disk operation for a tag and
+// registers it with the watchdog's in-flight set.
 func (s *Server) submitTag(tag *readTag) {
-	s.d.Submit(&disk.Request{
+	req := &disk.Request{
 		LBA: tag.lba, Count: tag.sectors, RealTime: !s.cfg.NoRTQueue,
 		Write: tag.s.record, // sparse payload: placement is what matters
 		Done: func(r *disk.Request, _ []byte) {
@@ -420,7 +497,21 @@ func (s *Server) submitTag(tag *readTag) {
 			tag.err = r.Err
 			s.iodonePort.Send(tag)
 		},
-	})
+	}
+	tag.req = req
+	tag.issuedAt = s.k.Now()
+	s.inflight = append(s.inflight, tag)
+	s.d.Submit(req)
+}
+
+// removeInflight drops a completed tag from the watchdog's scan set.
+func (s *Server) removeInflight(tag *readTag) {
+	for i, t := range s.inflight {
+		if t == tag {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // finishCycleStat records a completed batch's accuracy and checks the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/disk"
 	"repro/internal/media"
 	"repro/internal/sim"
 	"repro/internal/ufs"
@@ -8,14 +9,15 @@ import (
 
 // StreamStats aggregates per-stream activity.
 type StreamStats struct {
-	BytesScheduled int64
-	BytesCompleted int64
-	ChunksStamped  int64
-	ChunksLate     int64 // stamped after the logical clock had passed them
-	ChunksFailed   int64 // never stamped because their disk read failed
-	ReadsIssued    int64
-	ReadRetries    int64
-	ReadErrors     int64 // reads that failed even after the retry
+	BytesScheduled  int64
+	BytesCompleted  int64
+	ChunksStamped   int64
+	ChunksLate      int64 // stamped after the logical clock had passed them
+	ChunksFailed    int64 // never stamped because their disk read failed
+	ReadsIssued     int64
+	ReadRetries     int64
+	ReadErrors      int64 // reads that failed even after the retry budget
+	WatchdogCancels int64 // stalled reads the I/O watchdog abandoned
 }
 
 // stream is the server-side state of one open continuous media session.
@@ -68,6 +70,15 @@ type stream struct {
 	// chunks overlapping them are dropped rather than stamped.
 	failedRanges [][2]int64
 
+	// Degradation-ladder state, advanced once per cycle by the recovery
+	// engine (see recovery.go for the ladder semantics).
+	health       StreamHealth
+	cycleErrs    int      // hard read failures absorbed this cycle
+	windowErrs   int      // recent hard failures while Healthy (ages out)
+	degradedErrs int      // hard failures since entering Degraded
+	cleanCycles  int      // consecutive clean cycles while Degraded
+	suspendedAt  sim.Time // when the stream entered Suspended
+
 	stats  StreamStats
 	closed bool
 }
@@ -81,9 +92,11 @@ type readTag struct {
 	lba       int64
 	sectors   int
 	done      bool
-	failed    bool // read failed even after the retry
-	retried   bool
+	failed    bool // read failed even after the retry budget
+	retries   int  // times the read has been re-issued
 	err       error
+	req       *disk.Request // outstanding raw operation (for the watchdog)
+	issuedAt  sim.Time      // when req was (last) submitted
 	started   sim.Time
 	completed sim.Time
 }

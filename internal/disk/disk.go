@@ -33,7 +33,8 @@ type Request struct {
 	Started   sim.Time
 	Completed sim.Time
 
-	cyl int
+	cyl  int
+	fdec faultDecision // drawn at start-of-service when a fault model is set
 }
 
 // Stats aggregates controller activity.
@@ -47,6 +48,8 @@ type Stats struct {
 	CmdTime        sim.Time // cumulative command overhead
 	MaxQueueDepth  [2]int   // per queue
 	TotalQueueWait sim.Time // submit-to-start, summed over requests
+	FaultLatency   sim.Time // injected service-time inflation (in BusyTime too)
+	Canceled       int      // requests abandoned by Cancel
 }
 
 // Disk is a simulated disk with a two-queue (real-time / normal) C-SCAN
@@ -63,18 +66,25 @@ type Disk struct {
 	// return fails the request with that error. A testing and
 	// fault-tolerance facility — the paper's hardware had no error model,
 	// but a server that wedges on the first medium error is not one a
-	// downstream user can adopt.
+	// downstream user can adopt. The structured, seed-deterministic way to
+	// inject failures is the FaultModel (faults.go); this hook remains as
+	// an escape hatch for hand-crafted scenarios.
 	faultInjector func(r *Request) error
+
+	// faults, when set, draws a fault decision for every request at
+	// start-of-service (see FaultModel).
+	faults *FaultModel
 
 	// fifo disables C-SCAN ordering (requests served in arrival order) —
 	// an ablation switch for measuring what the paper's seek-minimizing
 	// queue discipline buys.
 	fifo bool
 
-	queues    [2][]*Request // index by queueRT / queueNormal
-	active    *Request
-	activeEnd sim.Time // completion time of the active request
-	arm       int      // current cylinder
+	queues        [2][]*Request // index by queueRT / queueNormal
+	active        *Request
+	activeEnd     sim.Time // completion time of the active request
+	activeStalled bool     // active request's completion was withheld (fault)
+	arm           int      // current cylinder
 
 	stats Stats
 }
@@ -126,7 +136,12 @@ func (d *Disk) ActiveNonRTRemaining() sim.Time {
 	if d.active == nil || d.active.RealTime {
 		return 0
 	}
-	return d.activeEnd - d.eng.Now()
+	if rem := d.activeEnd - d.eng.Now(); rem > 0 {
+		return rem
+	}
+	// A stalled request has no completion time; its nominal service may
+	// already lie in the past.
+	return 0
 }
 
 // Submit enqueues a request. If the mechanism is idle it starts service
@@ -213,6 +228,14 @@ func (d *Disk) startNext() {
 	transfer := d.transferTime(r.Count)
 	service := d.par.CmdOverhead + seek + rotWait + transfer
 
+	if d.faults != nil {
+		r.fdec = d.faults.decide(r)
+		if r.fdec.extra > 0 {
+			service += r.fdec.extra
+			d.stats.FaultLatency += r.fdec.extra
+		}
+	}
+
 	d.stats.CmdTime += d.par.CmdOverhead
 	d.stats.SeekTime += seek
 	d.stats.RotTime += rotWait
@@ -232,6 +255,13 @@ func (d *Disk) startNext() {
 	}
 	d.eng.Tracef("disk %s: %s %s lba=%d sectors=%d cyl=%d seek=%v rot=%v service=%v",
 		d.name, qn, kind, r.LBA, r.Count, r.cyl, seek, rotWait, service)
+	if r.fdec.stall {
+		// The completion interrupt never fires: the mechanism wedges with
+		// this request in service until the host abandons it with Cancel.
+		d.activeStalled = true
+		d.eng.Tracef("disk %s: request lba=%d stalled (completion withheld)", d.name, r.LBA)
+		return
+	}
 	d.eng.After(service, func() { d.complete(r) })
 }
 
@@ -256,11 +286,46 @@ func (d *Disk) transferTime(count int) sim.Time {
 // SetFaultInjector installs (or clears, with nil) the fault hook.
 func (d *Disk) SetFaultInjector(fn func(r *Request) error) { d.faultInjector = fn }
 
+// Cancel abandons the active request if its completion interrupt was
+// withheld (a stalled fault): the mechanism is freed, the request completes
+// immediately with ErrAborted, and queued requests resume service. It
+// reports whether the request was canceled; a request that is queued, is
+// not in service, or whose completion is still coming on its own is left
+// alone (false). Cancel is how the server's I/O watchdog keeps a wedged
+// drive from wedging the request scheduler.
+func (d *Disk) Cancel(r *Request) bool {
+	if d.active != r || !d.activeStalled {
+		return false
+	}
+	d.activeStalled = false
+	d.active = nil
+	r.Err = ErrAborted
+	r.Completed = d.eng.Now()
+	d.stats.Canceled++
+	d.eng.Tracef("disk %s: request lba=%d aborted by host", d.name, r.LBA)
+	if r.Done != nil {
+		r.Done(r, nil)
+	}
+	if d.active == nil {
+		d.startNext()
+	}
+	return true
+}
+
+// Stalled reports whether the active request's completion was withheld by
+// an injected stall fault.
+func (d *Disk) Stalled() bool { return d.activeStalled }
+
 func (d *Disk) complete(r *Request) {
 	r.Completed = d.eng.Now()
 	var data []byte
+	if r.fdec.err != nil {
+		r.Err = r.fdec.err
+	}
 	if d.faultInjector != nil {
-		r.Err = d.faultInjector(r)
+		if err := d.faultInjector(r); err != nil {
+			r.Err = err
+		}
 	}
 	switch {
 	case r.Err != nil:

@@ -1,0 +1,151 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Fault sentinels. The controller reports them through Request.Err; the
+// server's recovery engine treats any error as a failed transfer and decides
+// from its own policy (not from the error identity) whether a retry is worth
+// the interval time, so new fault kinds can be added without touching core.
+var (
+	// ErrMedium is a transient medium error: a retry of the same sectors
+	// usually succeeds (ECC got lucky on the next revolution).
+	ErrMedium = errors.New("disk: medium error")
+
+	// ErrBadRegion is a persistent medium error from a bad-block region:
+	// every transfer touching the region fails, retries included.
+	ErrBadRegion = errors.New("disk: unrecoverable medium error")
+
+	// ErrAborted is the completion status of a request the host abandoned
+	// with Cancel after its completion interrupt never arrived.
+	ErrAborted = errors.New("disk: request aborted by host")
+)
+
+// BadRegion is a contiguous LBA range that persistently fails.
+type BadRegion struct {
+	LBA     int64
+	Sectors int64
+}
+
+func (b BadRegion) overlaps(r *Request) bool {
+	return r.LBA < b.LBA+b.Sectors && b.LBA < r.LBA+int64(r.Count)
+}
+
+// FaultConfig composes the failure modes a FaultModel injects. The zero
+// value injects nothing; each mode arms independently.
+type FaultConfig struct {
+	// TransientProb is the per-request probability of a one-shot medium
+	// error (ErrMedium). The full service time is still consumed — the
+	// mechanism did the work, the data was bad.
+	TransientProb float64
+
+	// LatencyProb inflates a request's service time by a uniform draw from
+	// [LatencyMin, LatencyMax) with the given per-request probability —
+	// thermal recalibration, retried servo settles, cache misses in the
+	// drive firmware.
+	LatencyProb            float64
+	LatencyMin, LatencyMax sim.Time
+
+	// StallProb is the per-request probability that the completion
+	// interrupt never fires: the request enters service and the mechanism
+	// wedges until the host cancels it. MaxStalls caps the number injected
+	// (0 = unlimited).
+	StallProb float64
+	MaxStalls int
+
+	// BadRegions persistently fail every overlapping transfer.
+	BadRegions []BadRegion
+
+	// RTOnly restricts injection to real-time queue requests, leaving file
+	// system metadata and other background traffic clean. Chaos campaigns
+	// use it to target stream I/O without corrupting setup.
+	RTOnly bool
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	Transient int // one-shot medium errors
+	BadBlock  int // requests failed by a bad region
+	Latency   int // inflated requests
+	Stalls    int // completions withheld
+}
+
+// Total returns all injected faults.
+func (s FaultStats) Total() int { return s.Transient + s.BadBlock + s.Latency + s.Stalls }
+
+// FaultModel is a composable, seed-deterministic fault injector. All
+// randomness comes from one named sim RNG stream, so a campaign scenario
+// replays bit-for-bit from its engine seed: the same requests draw the same
+// faults in the same order. Decisions are made once per request at
+// start-of-service (a fixed draw order per request keeps the stream aligned
+// regardless of outcomes).
+type FaultModel struct {
+	rng   *sim.RNG
+	cfg   FaultConfig
+	stats FaultStats
+}
+
+// NewFaultModel builds a model over the given RNG stream. Conventionally
+// the stream is named for the disk, e.g. eng.RNG("faults:sd0").
+func NewFaultModel(rng *sim.RNG, cfg FaultConfig) *FaultModel {
+	if cfg.LatencyMax < cfg.LatencyMin {
+		panic(fmt.Sprintf("disk: fault latency range inverted: [%v, %v)", cfg.LatencyMin, cfg.LatencyMax))
+	}
+	return &FaultModel{rng: rng, cfg: cfg}
+}
+
+// Config returns the model's configuration.
+func (m *FaultModel) Config() FaultConfig { return m.cfg }
+
+// Stats returns a copy of the injection counters.
+func (m *FaultModel) Stats() FaultStats { return m.stats }
+
+// faultDecision is what the controller applies to one request.
+type faultDecision struct {
+	err   error    // completion error (transient or bad region)
+	extra sim.Time // added service time
+	stall bool     // withhold the completion interrupt
+}
+
+// decide draws this request's fate. Called by the controller at
+// start-of-service, in service order, which is deterministic under the sim
+// engine.
+func (m *FaultModel) decide(r *Request) faultDecision {
+	if m.cfg.RTOnly && !r.RealTime {
+		return faultDecision{}
+	}
+	var d faultDecision
+	for _, b := range m.cfg.BadRegions {
+		if b.overlaps(r) {
+			d.err = ErrBadRegion
+			m.stats.BadBlock++
+			break
+		}
+	}
+	if m.cfg.TransientProb > 0 && m.rng.Float64() < m.cfg.TransientProb {
+		if d.err == nil {
+			d.err = ErrMedium
+			m.stats.Transient++
+		}
+	}
+	if m.cfg.LatencyProb > 0 && m.rng.Float64() < m.cfg.LatencyProb {
+		d.extra = m.rng.DurationRange(m.cfg.LatencyMin, m.cfg.LatencyMax)
+		m.stats.Latency++
+	}
+	if m.cfg.StallProb > 0 && m.rng.Float64() < m.cfg.StallProb {
+		if m.cfg.MaxStalls == 0 || m.stats.Stalls < m.cfg.MaxStalls {
+			d.stall = true
+			m.stats.Stalls++
+		}
+	}
+	return d
+}
+
+// SetFaultModel installs (or clears, with nil) the structured fault model.
+// It composes with SetFaultInjector: the model decides at start-of-service,
+// the injector hook is still consulted at completion time.
+func (d *Disk) SetFaultModel(m *FaultModel) { d.faults = m }

@@ -69,14 +69,22 @@ type PlaybackConfig struct {
 	NoRTQueue bool // CRAS reads on the normal disk queue
 	FIFODisk  bool // arrival-order disk service instead of C-SCAN
 	MaxRead   int  // override the 256 KB single-read cap
+
+	// Faults, when non-nil, installs a deterministic disk fault model for
+	// the whole run. Set RTOnly to keep file-system setup traffic clean.
+	Faults *disk.FaultConfig
+
+	// Recovery overrides the server's recovery policy (zero = defaults).
+	Recovery core.RecoveryPolicy
 }
 
 // PlaybackResult is what one run produced.
 type PlaybackResult struct {
-	Players   []*workload.PlayerStats
-	CRASStats core.Stats
-	DiskStats disk.Stats
-	MediaRate float64 // the disk's sustained rate, for normalizing
+	Players    []*workload.PlayerStats
+	CRASStats  core.Stats
+	DiskStats  disk.Stats
+	FaultStats disk.FaultStats // zero unless PlaybackConfig.Faults was set
+	MediaRate  float64         // the disk's sustained rate, for normalizing
 
 	admissionRejected int
 }
@@ -135,6 +143,7 @@ func RunPlayback(cfg PlaybackConfig) *PlaybackResult {
 		BufferBudget: 64 << 20,
 		NoRTQueue:    cfg.NoRTQueue,
 		MaxRead:      cfg.MaxRead,
+		Recovery:     cfg.Recovery,
 	}
 	setup := lab.Setup{
 		Seed:   cfg.Seed,
@@ -164,9 +173,14 @@ func RunPlayback(cfg PlaybackConfig) *PlaybackResult {
 	}
 
 	frames := int(cfg.Duration / (sim.Time(time.Second) / sim.Time(cfg.Profile.FrameRate)))
+	var model *disk.FaultModel
 	m := lab.Build(setup, func(m *lab.Machine) {
 		if cfg.FIFODisk {
 			m.Disk.SetFIFO(true)
+		}
+		if cfg.Faults != nil {
+			model = disk.NewFaultModel(m.Eng.RNG("expt:faults"), *cfg.Faults)
+			m.Disk.SetFaultModel(model)
 		}
 		if cfg.Load {
 			q := sim.Time(0)
@@ -224,6 +238,9 @@ func RunPlayback(cfg PlaybackConfig) *PlaybackResult {
 		res.CRASStats = m.CRAS.Stats()
 	}
 	res.DiskStats = m.Disk.Stats()
+	if model != nil {
+		res.FaultStats = model.Stats()
+	}
 	res.MediaRate = disk.MediaRate(m.Disk.Geometry(), m.Disk.Params())
 	return res
 }

@@ -1,0 +1,99 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// FaultSweepConfig drives the fault-recovery sweep: a fixed multi-stream
+// playback load replayed across rising transient media-error rates.
+type FaultSweepConfig struct {
+	Seed     int64
+	Streams  int       // default 4
+	Duration sim.Time  // measured playback per stream; default 20 s
+	Probs    []float64 // transient-error probabilities; default 0..0.20
+}
+
+// FaultPoint is one probability point of the sweep.
+type FaultPoint struct {
+	Prob     float64
+	Injected int     // transient faults the model injected
+	Retries  int64   // re-issued reads
+	Denied   int64   // retries refused by the spare-time budget
+	Hard     int64   // reads that failed even after retries
+	Lost     int     // frames never delivered, all streams
+	P95Lost  float64 // 95th percentile of per-stream lost frames
+
+	// Recovery is the fraction of injected faults the deadline-budgeted
+	// retry policy absorbed before they became hard errors (1 when nothing
+	// was injected).
+	Recovery float64
+}
+
+// FaultSweepResult is the sweep's row set.
+type FaultSweepResult struct {
+	Points []FaultPoint
+}
+
+// RunFaultSweep plays the same seeded load at each transient-error
+// probability and measures how much of the injected fault load the
+// recovery engine absorbs within its deadline budget. Faults are confined
+// to the real-time queue, so the sweep isolates the retry policy from
+// file-system setup effects.
+func RunFaultSweep(cfg FaultSweepConfig) *FaultSweepResult {
+	if cfg.Streams == 0 {
+		cfg.Streams = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 20 * time.Second
+	}
+	if len(cfg.Probs) == 0 {
+		cfg.Probs = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
+	}
+	res := &FaultSweepResult{}
+	for _, p := range cfg.Probs {
+		run := RunPlayback(PlaybackConfig{
+			Seed:     cfg.Seed,
+			Streams:  cfg.Streams,
+			Profile:  media.MPEG1(),
+			Duration: cfg.Duration,
+			UseCRAS:  true,
+			Faults:   &disk.FaultConfig{TransientProb: p, RTOnly: true},
+		})
+		lost := make([]float64, len(run.Players))
+		for i, pl := range run.Players {
+			lost[i] = float64(pl.Lost)
+		}
+		pt := FaultPoint{
+			Prob:     p,
+			Injected: run.FaultStats.Transient,
+			Retries:  run.CRASStats.ReadRetries,
+			Denied:   run.CRASStats.RetriesDenied,
+			Hard:     run.CRASStats.ReadErrors,
+			Lost:     run.LostFrames(),
+			P95Lost:  metrics.Pct(lost, 0.95),
+			Recovery: 1,
+		}
+		if pt.Injected > 0 {
+			pt.Recovery = 1 - float64(pt.Hard)/float64(pt.Injected)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Table renders the sweep.
+func (r *FaultSweepResult) Table() *metrics.Table {
+	t := metrics.NewTable("Fault recovery: transient media errors vs the deadline-budgeted retry policy",
+		"p(fault)", "injected", "retries", "denied", "hard", "recovery", "lost frames", "p95 lost/stream")
+	for _, pt := range r.Points {
+		t.AddRow(fmt.Sprintf("%.2f", pt.Prob), pt.Injected, pt.Retries, pt.Denied, pt.Hard,
+			fmt.Sprintf("%.1f%%", 100*pt.Recovery), pt.Lost, fmt.Sprintf("%.0f", pt.P95Lost))
+	}
+	return t
+}

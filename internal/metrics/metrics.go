@@ -83,6 +83,22 @@ func Summarize(values []float64) Summary {
 // SummarizeSeries summarizes a series' values.
 func (s *Series) Summary() Summary { return Summarize(s.Values()) }
 
+// Pct returns the p-quantile (p in [0,1]) of the values, using the same
+// nearest-rank rule as Summarize. An empty input yields 0.
+func Pct(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
 // Table renders aligned plain-text tables, the medium in which the harness
 // reports each figure's rows.
 type Table struct {
