@@ -1,12 +1,14 @@
 // Command crastrace runs a short CRAS playback with the engine tracer on
 // and prints the event timeline: every disk operation (queue, kind,
 // cylinder, seek/rotation/service decomposition), every scheduler cycle
-// (streams, operations, bytes, chunks stamped), and any deadline events —
-// the tool to reach for when a configuration misbehaves.
+// (streams, operations, bytes, chunks stamped), any deadline events, and —
+// with -share — the interval cache's attach/fallback/promotion/eviction
+// decisions. The tool to reach for when a configuration misbehaves.
 //
 //	crastrace -streams 3 -seconds 4
 //	crastrace -streams 3 -seconds 4 -load         # add the cats
 //	crastrace -grep cycle                          # only scheduler cycles
+//	crastrace -share -streams 3 -grep cache        # cache lifecycle events
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 		streams = flag.Int("streams", 2, "simultaneous streams")
 		seconds = flag.Int("seconds", 3, "playback duration")
 		load    = flag.Bool("load", false, "add two background cat readers")
+		share   = flag.Bool("share", false, "all streams view one movie a second apart, interval cache on")
 		grep    = flag.String("grep", "", "only print lines containing this substring")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
@@ -31,6 +34,10 @@ func main() {
 	var movies []cras.LabMovie
 	infos := make([]*cras.StreamInfo, *streams)
 	for i := range infos {
+		if *share && i > 0 {
+			infos[i] = infos[0]
+			continue
+		}
 		path := fmt.Sprintf("/m%02d", i)
 		infos[i] = cras.MPEG1().Generate(path, time.Duration(*seconds)*time.Second)
 		movies = append(movies, cras.LabMovie{Path: path, Info: infos[i]})
@@ -39,10 +46,14 @@ func main() {
 	movies = append(movies, cras.LabMovie{Path: "/bulk", Info: bulk})
 
 	stats := make([]*cras.PlayerStats, *streams)
-	m := cras.BuildLab(cras.LabSetup{
+	setup := cras.LabSetup{
 		Seed:   *seed,
 		Movies: movies,
-	}, func(m *cras.Lab) {
+	}
+	if *share {
+		setup.CRAS = cras.Config{CacheBudget: 32 << 20}
+	}
+	m := cras.BuildLab(setup, func(m *cras.Lab) {
 		// Tracing starts after setup so mkfs noise stays out of the way.
 		m.Eng.SetTracer(func(at cras.Time, format string, args ...any) {
 			line := fmt.Sprintf(format, args...)
@@ -57,15 +68,35 @@ func main() {
 		}
 		for i := 0; i < *streams; i++ {
 			stats[i] = &cras.PlayerStats{}
+			if *share {
+				// Staggered viewers of movie 0: each after the first should
+				// attach to the leader's interval and play from its pins.
+				i := i
+				m.Kernel.NewThread(fmt.Sprintf("viewer%d", i), cras.PrioRTLow, 0, func(th *cras.Thread) {
+					if i > 0 {
+						th.Sleep(time.Duration(i) * time.Second)
+					}
+					cras.CRASPlayer(m.Kernel, m.CRAS, infos[i], "/m00",
+						cras.OpenOptions{}, cras.PlayerConfig{}, stats[i])
+				})
+				continue
+			}
 			cras.CRASPlayer(m.Kernel, m.CRAS, infos[i], fmt.Sprintf("/m%02d", i),
 				cras.OpenOptions{}, cras.PlayerConfig{}, stats[i])
 		}
 	})
-	m.Run(time.Duration(*seconds+6) * time.Second)
+	m.Run(time.Duration(*seconds+6+boolInt(*share)*(*streams)) * time.Second)
 	if err := m.Err(); err != nil {
 		panic(err)
 	}
 	for i, st := range stats {
 		fmt.Printf("# stream %d: %d/%d frames, %d lost\n", i, st.Obtained, st.Frames, st.Lost)
 	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

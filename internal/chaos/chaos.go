@@ -44,11 +44,25 @@ type Scenario struct {
 	// Victim poisons stream 0's disk layout from its second extent to the
 	// end of the file — a persistent bad-block region that must walk that
 	// stream down the degradation ladder while its peers play untouched.
+	// Under Share the region is bounded to extents [1..3] instead, so the
+	// shared file keeps a clean warm-up head and tail for the followers.
 	Victim bool
 
 	// ZeroLoss asserts that no player loses any frame — for scenarios whose
 	// faults the retry budget and buffer lead must fully absorb.
 	ZeroLoss bool
+
+	// Share turns the workload into viewers of one movie: stream 0 leads,
+	// the rest open StaggerOpen apart and ride the interval cache (the
+	// server gets a cache budget). The campaign then asserts the cache's
+	// failure contract: followers fall back to disk rather than deliver an
+	// expired chunk, and the scheduler survives losing the leader.
+	Share       bool
+	StaggerOpen sim.Time
+
+	// LeaderCloseAt, when nonzero, closes stream 0 this long after the
+	// control thread starts — mid-overlap, so a follower must be promoted.
+	LeaderCloseAt sim.Time
 }
 
 // PlayerOutcome is one stream's delivery record.
@@ -88,6 +102,8 @@ type playerState struct {
 	obtained int
 	lost     int
 	done     bool
+	closeAt  sim.Time // nonzero: hang up at this time instead of finishing
+	closed   bool
 }
 
 // Run executes one scenario to completion and checks its invariants.
@@ -102,6 +118,15 @@ func Run(sc Scenario) *Result {
 	infos := make([]*media.StreamInfo, sc.Streams)
 	var movies []lab.Movie
 	for i := range paths {
+		if sc.Share {
+			paths[i] = "/c00"
+			infos[i] = infos[0]
+			if i == 0 {
+				infos[0] = media.MPEG1().Generate(paths[0], movieDur)
+				movies = append(movies, lab.Movie{Path: paths[0], Info: infos[0]})
+			}
+			continue
+		}
 		paths[i] = fmt.Sprintf("/c%02d", i)
 		infos[i] = media.MPEG1().Generate(paths[i], movieDur)
 		movies = append(movies, lab.Movie{Path: paths[i], Info: infos[i]})
@@ -111,22 +136,29 @@ func Run(sc Scenario) *Result {
 	for i := range players {
 		players[i] = &playerState{path: paths[i]}
 	}
+	if sc.LeaderCloseAt > 0 {
+		players[0].closeAt = sc.LeaderCloseAt
+	}
 
 	var model *disk.FaultModel
 	var serverStart sim.Time
+	cfg := core.Config{
+		Interval:     interval,
+		InitialDelay: initialDelay,
+		BufferBudget: 64 << 20,
+		// The 2 s delay enables whole-extent (256 KB) reads, so even a
+		// fully poisoned file yields only a handful of hard failures;
+		// two of them while already degraded is conclusive at this
+		// scale, where the default (4) lets a short movie run out of
+		// region before the ladder finishes.
+		Recovery: core.RecoveryPolicy{SuspendAfter: 2},
+	}
+	if sc.Share {
+		cfg.CacheBudget = 32 << 20
+	}
 	m := lab.Build(lab.Setup{
-		Seed: sc.Seed,
-		CRAS: core.Config{
-			Interval:     interval,
-			InitialDelay: initialDelay,
-			BufferBudget: 64 << 20,
-			// The 2 s delay enables whole-extent (256 KB) reads, so even a
-			// fully poisoned file yields only a handful of hard failures;
-			// two of them while already degraded is conclusive at this
-			// scale, where the default (4) lets a short movie run out of
-			// region before the ladder finishes.
-			Recovery: core.RecoveryPolicy{SuspendAfter: 2},
-		},
+		Seed:   sc.Seed,
+		CRAS:   cfg,
 		Movies: movies,
 	}, func(m *lab.Machine) {
 		serverStart = m.Eng.Now()
@@ -134,35 +166,55 @@ func Run(sc Scenario) *Result {
 			res.Ladder = append(res.Ladder, ev)
 		}
 		m.App("chaos.ctl", rtm.PrioRTLow, 0, func(th *rtm.Thread) {
-			// Open every stream first: the victim region is carved from
-			// stream 0's actual extent map, and installing the model after
-			// the opens keeps the resolver's metadata reads clean even
-			// before RTOnly applies.
-			for i := range players {
+			spawn := func(i int) {
+				ps := players[i]
+				info := infos[i]
+				m.Kernel.NewThread(fmt.Sprintf("chaos.play%d:%s", i, ps.path), rtm.PrioRTLow, 0, func(pt *rtm.Thread) {
+					playStream(m, pt, ps, info, res)
+				})
+			}
+			open := func(i int) bool {
 				h, err := m.CRAS.Open(th, infos[i], paths[i], core.OpenOptions{})
 				if err != nil {
 					res.violate("open %s: %v", paths[i], err)
-					return
+					return false
 				}
 				players[i].h = h
+				return true
 			}
-			cfg := sc.Faults
-			cfg.RTOnly = true
+			// Open stream 0 first: the victim region is carved from its
+			// actual extent map, and installing the model after the open
+			// keeps the resolver's metadata reads clean even before RTOnly
+			// applies. (Follower opens under Share read metadata through
+			// the Unix server, which RTOnly protects.)
+			if !open(0) {
+				return
+			}
+			fcfg := sc.Faults
+			fcfg.RTOnly = true
 			if sc.Victim {
 				ext := players[0].h.ExtentMap().Extents
 				from, last := ext[1], ext[len(ext)-1]
-				cfg.BadRegions = append(cfg.BadRegions, disk.BadRegion{
+				if sc.Share && len(ext) > 4 {
+					// Leave the shared file's tail clean: the leader must
+					// die over the region while followers survive past it.
+					last = ext[3]
+				}
+				fcfg.BadRegions = append(fcfg.BadRegions, disk.BadRegion{
 					LBA: from.LBA, Sectors: last.LBA + int64(last.Sectors) - from.LBA,
 				})
 			}
-			model = disk.NewFaultModel(m.Eng.RNG("chaos:faults"), cfg)
+			model = disk.NewFaultModel(m.Eng.RNG("chaos:faults"), fcfg)
 			m.Disk.SetFaultModel(model)
-			for i := range players {
-				ps := players[i]
-				info := infos[i]
-				m.Kernel.NewThread("chaos.play:"+ps.path, rtm.PrioRTLow, 0, func(pt *rtm.Thread) {
-					playStream(m, pt, ps, info, res)
-				})
+			spawn(0)
+			for i := 1; i < len(players); i++ {
+				if sc.Share && sc.StaggerOpen > 0 {
+					th.Sleep(sc.StaggerOpen)
+				}
+				if !open(i) {
+					return
+				}
+				spawn(i)
 			}
 		})
 	})
@@ -219,6 +271,15 @@ func playStream(m *lab.Machine, pt *rtm.Thread, ps *playerState, info *media.Str
 		return
 	}
 	for i := range info.Chunks {
+		if ps.closeAt > 0 && m.Kernel.Now() >= ps.closeAt {
+			// Scenario says hang up mid-movie (a leader quitting under its
+			// followers); the frames never played are not losses.
+			if err := h.Close(pt); err != nil {
+				res.violate("%s: close: %v", ps.path, err)
+			}
+			ps.closed = true
+			return
+		}
 		c := info.Chunks[i]
 		due := h.ClockStartsAt(c.Timestamp)
 		if due < 0 {
@@ -285,12 +346,33 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 			r.violate("victim stream still healthy over a persistent bad region")
 		}
 		for _, p := range r.Players[1:] {
-			if p.Lost != 0 {
+			// Under Share the peers view the victim's own poisoned file, so
+			// losing its bad region is their expected fate too.
+			if p.Lost != 0 && !r.Scenario.Share {
 				r.violate("%s: healthy peer lost %d frames while the victim degraded", p.Path, p.Lost)
 			}
 		}
 		if r.Server.StreamsDegraded == 0 {
 			r.violate("victim never entered Degraded")
+		}
+	}
+
+	if r.Scenario.Share {
+		// The followers must actually have ridden the cache...
+		if r.Server.CacheAttached == 0 {
+			r.violate("shared-movie scenario attached no cache followers")
+		}
+		// ...and must have come off it the contractual way.
+		if r.Scenario.Victim && r.Server.CacheFallbacks == 0 {
+			r.violate("leader failed over a bad region but no follower fell back to disk")
+		}
+		if r.Scenario.LeaderCloseAt > 0 {
+			if !players[0].closed {
+				r.violate("leader never closed at %v as scripted", r.Scenario.LeaderCloseAt)
+			}
+			if r.Server.CachePromotions == 0 && r.Server.CacheFallbacks == 0 {
+				r.violate("leader closed mid-overlap but no follower was promoted or fell back")
+			}
 		}
 	}
 
@@ -304,7 +386,7 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		if r.Scenario.ZeroLoss && p.Lost != 0 {
 			r.violate("%s: lost %d frames in a zero-loss scenario", p.Path, p.Lost)
 		}
-		if p.Lost > p.Frames/2 {
+		if p.Lost > p.Frames/2 && !(r.Scenario.Share && r.Scenario.Victim) {
 			r.violate("%s: lost %d/%d frames — server effectively down", p.Path, p.Lost, p.Frames)
 		}
 	}
@@ -356,6 +438,23 @@ func Campaign(base int64) []Scenario {
 			})
 		}
 	}
+	// Interval-cache failure drills: a leader dying over a bad region while
+	// a follower rides its buffer, and a leader hanging up mid-overlap
+	// under stall injection. Both run at two streams so Quick keeps them.
+	out = append(out,
+		Scenario{
+			Name: "cache-victim-evict/s2", Seed: base*1000 + 100,
+			Streams: 2, Victim: true,
+			Share: true, StaggerOpen: 500 * time.Millisecond,
+		},
+		Scenario{
+			Name: "cache-fallback-stall/s2", Seed: base*1000 + 101,
+			Streams: 2,
+			Faults:  disk.FaultConfig{StallProb: 0.5, MaxStalls: 2},
+			Share:   true, StaggerOpen: 2 * time.Second,
+			LeaderCloseAt: 3500 * time.Millisecond,
+		},
+	)
 	return out
 }
 

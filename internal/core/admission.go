@@ -23,9 +23,21 @@ type AdmissionParams struct {
 // rate R_i (worst case over an interval window, which for CBR equals the
 // average) and the chunk size C_i (the largest single chunk, the slack term
 // in A_i = T*R_i + C_i).
+//
+// A cache-backed stream (a follower served from the interval cache, see
+// icache.go) is charged differently: it performs no disk operations — it
+// contributes nothing to R_total, C_total or the per-operation overheads of
+// RequiredInterval — and its buffer charge is CacheBytes, the pinned
+// interval between it and its leader (gap × rate), instead of the
+// double-buffer B_i. This asymmetry is the capacity win of interval
+// caching: a trailing viewer of an already-playing movie costs RAM
+// proportional to how far it trails, and no disk time at all.
 type StreamParams struct {
 	Rate  float64 // bytes/second
 	Chunk int64   // bytes
+
+	Cached     bool  // served from the interval cache, not the disk
+	CacheBytes int64 // pinned-interval charge while Cached
 }
 
 // MeasureAdmissionParams derives Table 4 from the disk, the way the authors
@@ -105,15 +117,21 @@ func (a AdmissionParams) TotalOverhead(n int) sim.Time {
 // T >= (O_total*D + C_total) / (D - R_total). It returns an error when the
 // aggregate rate meets or exceeds the disk rate (no interval suffices).
 func (a AdmissionParams) RequiredInterval(streams []StreamParams) (sim.Time, error) {
-	n := len(streams)
-	if n == 0 {
-		return 0, nil
-	}
+	// Cache-backed streams read nothing from the disk: they contribute no
+	// rate, no chunk slack and no per-operation overhead to the batch.
+	n := 0
 	var rTotal float64
 	var cTotal int64
 	for _, s := range streams {
+		if s.Cached {
+			continue
+		}
+		n++
 		rTotal += s.Rate
 		cTotal += s.Chunk
+	}
+	if n == 0 {
+		return 0, nil
 	}
 	if rTotal >= a.D {
 		return 0, fmt.Errorf("core: aggregate rate %.0f B/s >= disk rate %.0f B/s", rTotal, a.D)
@@ -129,10 +147,16 @@ func BufferPerStream(t sim.Time, s StreamParams) int64 {
 	return 2 * (int64(t.Seconds()*s.Rate) + s.Chunk)
 }
 
-// TotalBuffer is B_total, formula (8).
+// TotalBuffer is B_total, formula (8), extended for the interval cache: a
+// cache-backed stream charges its pinned interval (CacheBytes) instead of
+// the double-buffer B_i.
 func TotalBuffer(t sim.Time, streams []StreamParams) int64 {
 	var total int64
 	for _, s := range streams {
+		if s.Cached {
+			total += s.CacheBytes
+			continue
+		}
 		total += BufferPerStream(t, s)
 	}
 	return total

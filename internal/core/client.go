@@ -119,6 +119,11 @@ func (h *Handle) BufferStats() *TDBuffer { return h.st.buf }
 // StreamStats returns a copy of the per-stream counters.
 func (h *Handle) StreamStats() StreamStats { return h.st.stats }
 
+// CacheBacked reports whether the session is currently served from the
+// interval cache rather than its own disk reads. Like Get, it reads shared
+// state directly; it turns false for good once the stream falls back.
+func (h *Handle) CacheBacked() bool { return h.st.cached }
+
 // Health returns the session's position on the degradation ladder. Like
 // Get, it reads shared state directly and may be called from any engine
 // context; a ladder transition also arrives via Server.OnStreamHealth.

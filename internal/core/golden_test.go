@@ -1,0 +1,167 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/ufs"
+)
+
+// goldenResult captures everything one fixed-seed run delivers to its
+// players: a digest per stream of the exact chunk sequence (index,
+// timestamp, size, and per-frame delivery delay), plus the server and
+// follower counters the comparison cares about.
+type goldenResult struct {
+	digests [3]uint64
+	lost    [3]int
+	stats   Stats
+	folFrom int64 // follower ChunksFromCache
+}
+
+// goldenPlay is playAndMeasure with the delivered sequence folded into a
+// digest: any difference in which chunks arrive, in what order, or when
+// relative to their due times changes the sum.
+func goldenPlay(b *bed, th *rtm.Thread, h *Handle, frames int) (uint64, int) {
+	sum := fnv.New64a()
+	word := func(v int64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		sum.Write(buf[:])
+	}
+	info := h.Info()
+	if frames > len(info.Chunks) {
+		frames = len(info.Chunks)
+	}
+	const poll = 2 * time.Millisecond
+	lost := 0
+	for i := 0; i < frames; i++ {
+		want := info.Chunks[i]
+		due := h.ClockStartsAt(want.Timestamp)
+		if due < 0 {
+			lost++
+			continue
+		}
+		if b.k.Now() < due {
+			th.SleepUntil(due)
+		}
+		deadline := due + 3*want.Duration
+		for {
+			if c, ok := h.Get(want.Timestamp); ok {
+				word(int64(c.Index))
+				word(int64(c.Timestamp))
+				word(c.Size)
+				word(int64(b.k.Now() - due))
+				break
+			}
+			if b.k.Now() >= deadline {
+				lost++
+				word(-1)
+				word(int64(i))
+				break
+			}
+			th.Sleep(poll)
+		}
+	}
+	return sum.Sum64(), lost
+}
+
+// runGoldenScenario plays a fixed three-stream workload — two viewers of
+// one movie a second apart plus one solo viewer of another — under the
+// given cache budget, all other knobs and the seed held constant.
+func runGoldenScenario(t *testing.T, cacheBudget int64) goldenResult {
+	t.Helper()
+	shared := media.MPEG1().Generate("/shared", 10*time.Second)
+	solo := media.MPEG1().Generate("/solo", 8*time.Second)
+	var res goldenResult
+	newBed(t, 7, ufs.Options{}, Config{CacheBudget: cacheBudget},
+		map[string]*media.StreamInfo{"/shared": shared, "/solo": solo},
+		func(b *bed, th *rtm.Thread) {
+			lead, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
+			if err != nil {
+				t.Errorf("open leader: %v", err)
+				return
+			}
+			lead.Start(th)
+			th.Sleep(1 * time.Second)
+			fol, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
+			if err != nil {
+				t.Errorf("open follower: %v", err)
+				return
+			}
+			one, err := b.cras.Open(th, solo, "/solo", OpenOptions{})
+			if err != nil {
+				t.Errorf("open solo: %v", err)
+				return
+			}
+			fol.Start(th)
+			one.Start(th)
+
+			done := [2]bool{}
+			b.k.NewThread("fol-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+				res.digests[1], res.lost[1] = goldenPlay(b, th2, fol, 200)
+				done[0] = true
+			})
+			b.k.NewThread("solo-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+				res.digests[2], res.lost[2] = goldenPlay(b, th2, one, 200)
+				done[1] = true
+			})
+			res.digests[0], res.lost[0] = goldenPlay(b, th, lead, 200)
+			for !done[0] || !done[1] {
+				th.Sleep(100 * time.Millisecond)
+			}
+			res.stats = b.cras.Stats()
+			res.folFrom = fol.StreamStats().ChunksFromCache
+		})
+	return res
+}
+
+// The interval cache must be invisible to delivery: with the cache on,
+// every stream receives the byte-identical chunk sequence at the identical
+// per-frame delays as with the cache off — only the disk traffic and the
+// cache counters may differ.
+func TestGoldenCacheTransparency(t *testing.T) {
+	off := runGoldenScenario(t, 0)
+	on := runGoldenScenario(t, 16<<20)
+	if t.Failed() {
+		return
+	}
+
+	for i, name := range []string{"leader", "follower", "solo"} {
+		if off.lost[i] != 0 || on.lost[i] != 0 {
+			t.Errorf("%s lost frames: cache-off %d, cache-on %d", name, off.lost[i], on.lost[i])
+		}
+		if off.digests[i] != on.digests[i] {
+			t.Errorf("%s delivered sequence diverged: cache-off %016x, cache-on %016x",
+				name, off.digests[i], on.digests[i])
+		}
+	}
+
+	// Service counters identical...
+	if off.stats.ChunksStamped != on.stats.ChunksStamped {
+		t.Errorf("ChunksStamped: cache-off %d, cache-on %d", off.stats.ChunksStamped, on.stats.ChunksStamped)
+	}
+	if off.stats.ThreadDeadlineMiss != on.stats.ThreadDeadlineMiss ||
+		off.stats.IODeadlineMiss != on.stats.IODeadlineMiss {
+		t.Errorf("deadline misses diverged: cache-off (%d,%d), cache-on (%d,%d)",
+			off.stats.ThreadDeadlineMiss, off.stats.IODeadlineMiss,
+			on.stats.ThreadDeadlineMiss, on.stats.IODeadlineMiss)
+	}
+
+	// ...while the cache visibly absorbs disk traffic.
+	if on.stats.BytesRead >= off.stats.BytesRead {
+		t.Errorf("cache-on read %d disk bytes, want fewer than cache-off's %d",
+			on.stats.BytesRead, off.stats.BytesRead)
+	}
+	if on.stats.CacheHits == 0 || on.folFrom == 0 {
+		t.Errorf("cache-on run shows no cache service: hits %d, follower chunks %d",
+			on.stats.CacheHits, on.folFrom)
+	}
+	if off.stats.CacheHits != 0 || off.stats.CacheAttached != 0 {
+		t.Errorf("cache-off run recorded cache activity: hits %d, attached %d",
+			off.stats.CacheHits, off.stats.CacheAttached)
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Interval caching (after Jayarekha & Nair): when a stream opens a path an
+// active stream is already playing, the pair's temporal gap is an interval
+// of media the leader has played and the follower has not. Instead of
+// discarding the leader's chunks at the time-driven rule, the server pins
+// them in a per-path cache until the follower has consumed them, so the
+// follower's prefetch cycles are served from RAM and charge the admission
+// test buffer bytes but zero disk operations.
+//
+// The one part of a follower's stream the cache can never supply is the
+// prefix the leader consumed before the follower arrived — those chunks
+// were discarded before any interval existed. The follower fetches that
+// prefix (chunks below cacheFrom) from the real-time disk queue like any
+// stream, riding the admission slack, and is cache-served from cacheFrom
+// on. A follower that opens while the leader's buffer still holds chunk 0
+// (gap smaller than the buffer window) never touches the disk at all.
+//
+// Fallback is one-way and within one interval T: on a cache miss at a
+// chunk the leader should have supplied (leader closed, evicted, suspended,
+// or the pin budget refused the chunk), the follower reverts to plain disk
+// fetching at its stamp point during the same scheduler cycle, so the
+// next interval's batch already contains its reads. Already-stamped chunks
+// stay in its buffer; the time-driven discard rule still guards Get, so an
+// expired chunk is never delivered across the switch.
+
+// pathCache is the per-path pin set: one leader producing chunks, the
+// followers consuming them oldest-first, and the pinned interval between
+// the leader's discard horizon and the slowest follower's.
+type pathCache struct {
+	path      string
+	leader    *stream
+	followers []*stream // open order: descending logical clock
+	pins      []BufferedChunk
+	bytes     int64 // pinned bytes in this path
+	createdAt int   // scheduler cycle, for deterministic eviction ties
+}
+
+// pinAt reports whether a pin with exactly the given timestamp exists.
+func (pc *pathCache) pinAt(ts sim.Time) bool {
+	at := sort.Search(len(pc.pins), func(i int) bool { return pc.pins[i].Timestamp >= ts })
+	return at < len(pc.pins) && pc.pins[at].Timestamp == ts
+}
+
+// pinInsert adds a chunk to the pin set, keeping it sorted by timestamp.
+// Duplicates (a promoted leader re-popping a chunk the old leader pinned)
+// are refused.
+func (pc *pathCache) pinInsert(c BufferedChunk) bool {
+	at := sort.Search(len(pc.pins), func(i int) bool { return pc.pins[i].Timestamp >= c.Timestamp })
+	if at < len(pc.pins) && pc.pins[at].Timestamp == c.Timestamp {
+		return false
+	}
+	pc.pins = append(pc.pins, BufferedChunk{})
+	copy(pc.pins[at+1:], pc.pins[at:])
+	pc.pins[at] = c
+	pc.bytes += c.Size
+	return true
+}
+
+// discardBefore frees pins every follower has consumed (their playback end
+// is at or before the horizon) and returns the bytes released.
+func (pc *pathCache) discardBefore(horizon sim.Time) int64 {
+	n := 0
+	var freed int64
+	for n < len(pc.pins) && pc.pins[n].Timestamp+pc.pins[n].Duration <= horizon {
+		freed += pc.pins[n].Size
+		n++
+	}
+	if n > 0 {
+		pc.pins = append(pc.pins[:0], pc.pins[n:]...)
+		pc.bytes -= freed
+	}
+	return freed
+}
+
+// intervalCache is the server-wide state: the pinned-byte budget, the live
+// per-path caches, and the reservation total that gates new attachments.
+type intervalCache struct {
+	budget    int64
+	bytes     int64 // pinned bytes across all paths
+	committed int64 // sum of attached followers' pin reservations
+	paths     []*pathCache
+}
+
+// ramBudget is the admission test's memory bound: the stream buffer budget
+// plus the interval cache's, since TotalBuffer charges cache-backed streams
+// their pinned interval against the same pool.
+func (s *Server) ramBudget() int64 {
+	return s.cfg.BufferBudget + s.cfg.CacheBudget
+}
+
+// cacheCandidate finds the stream a new open on path could follow: the
+// path's existing cache leader, or any open playback stream on the path.
+// Returns nil when the cache is disabled or no eligible leader exists.
+func (s *Server) cacheCandidate(r openReq) *stream {
+	if s.cfg.CacheBudget <= 0 || r.record {
+		return nil
+	}
+	for _, pc := range s.icache.paths {
+		if pc.path == r.path {
+			if s.cacheEligible(pc.leader, r) {
+				return pc.leader
+			}
+			return nil
+		}
+	}
+	for _, st := range s.streams {
+		if st.closed || st.record || st.cached || st.name != r.path {
+			continue
+		}
+		if s.cacheEligible(st, r) {
+			return st
+		}
+	}
+	return nil
+}
+
+// cacheEligible checks that a leader can supply the follower described by
+// the request: healthy enough to keep producing, same playback rate, and a
+// structurally identical chunk table (timestamps must line up for pins to
+// be meaningful).
+func (s *Server) cacheEligible(leader *stream, r openReq) bool {
+	if leader == nil || leader.closed || leader.health >= Suspended {
+		return false
+	}
+	rate := r.rate
+	if rate == 0 {
+		rate = 1
+	}
+	if leader.clock.Rate() != rate {
+		return false
+	}
+	if leader.info != r.info &&
+		(len(leader.info.Chunks) != len(r.info.Chunks) || leader.info.TotalSize() != r.info.TotalSize()) {
+		return false
+	}
+	return true
+}
+
+// cacheFloor is the oldest media time the cache can still supply for a
+// path: the leader's discard horizon, or the oldest pin if the path cache
+// already reaches further back.
+func (s *Server) cacheFloor(leader *stream, now sim.Time) sim.Time {
+	floor := leader.clock.At(now) - leader.buf.Jitter()
+	if pc := leader.pc; pc != nil && len(pc.pins) > 0 && pc.pins[0].Timestamp < floor {
+		floor = pc.pins[0].Timestamp
+	}
+	return floor
+}
+
+// cacheGap is the steady-state logical gap a follower opened now will
+// trail its leader by: the leader's current clock plus the follower's
+// initial delay (the leader keeps advancing while the follower's clock
+// waits to start). A follower that postpones its Start call widens the
+// real gap beyond this estimate; the pin-budget backstop and the fallback
+// path absorb that case.
+func (s *Server) cacheGap(leader *stream, now sim.Time) sim.Time {
+	return leader.clock.At(now) + s.cfg.InitialDelay
+}
+
+// cacheCharge computes the follower's admission charge (CacheBytes): the
+// gap interval plus a double-buffer window, at the stream's rate. It is
+// always at least B_i, so converting a follower back to a plain stream
+// never increases the memory the admission test sees.
+func (s *Server) cacheCharge(gap sim.Time, par StreamParams) int64 {
+	return int64((gap+2*s.cfg.Interval).Seconds()*par.Rate) + 2*par.Chunk
+}
+
+// cachePinReservation is the pin bytes a follower at the given gap will
+// hold in steady state; attachments are refused when the sum of
+// reservations would exceed the cache budget, keeping pin refusals (and
+// the fallbacks they force) an edge case rather than the steady state.
+func (s *Server) cachePinReservation(gap sim.Time, par StreamParams) int64 {
+	return int64((gap+s.cfg.Jitter).Seconds()*par.Rate) + par.Chunk
+}
+
+// cacheAttach joins a newly opened stream to its leader's path cache,
+// creating the cache on first use. Called from handleOpen after the stream
+// exists; par already carries the Cached admission charge.
+func (s *Server) cacheAttach(st *stream, leader *stream, reservation int64, now sim.Time) {
+	pc := leader.pc
+	if pc == nil {
+		pc = &pathCache{path: leader.name, leader: leader, createdAt: s.cycle}
+		leader.pc = pc
+		s.icache.paths = append(s.icache.paths, pc)
+	}
+	pc.followers = append(pc.followers, st)
+	st.pc = pc
+	st.cached = true
+	st.cachePinCharge = reservation
+	s.icache.committed += reservation
+
+	// The first chunk the cache can supply: everything from the leader's
+	// current discard horizon (or the existing pin floor) onward will be
+	// pinned; everything before it is the follower's disk-fetched prefix.
+	floor := s.cacheFloor(leader, now)
+	from := 0
+	if floor > 0 {
+		from = st.info.ChunkAt(floor)
+		if from < 0 {
+			from = len(st.info.Chunks)
+		} else if st.info.Chunks[from].Timestamp < floor {
+			from++ // chunk straddling the floor is already gone
+		}
+	}
+	st.cacheFrom = from
+	// Keep the warm-up prefix reads tight: whole-extent overshoot past
+	// cacheFrom would fetch bytes the cache is about to supply.
+	st.wholeExtents = false
+
+	s.stats.CacheAttached++
+	s.k.Engine().Tracef("cras: cache attach stream %d to leader %d on %s (gap %v, prefix %d chunks)",
+		st.id, leader.id, pc.path, leader.clock.At(now), from)
+}
+
+// cacheFromTs is the media time of the first cache-supplied chunk — the
+// bound on the follower's disk prefetch horizon during warm-up.
+func (st *stream) cacheFromTs() sim.Time {
+	if st.cacheFrom >= len(st.info.Chunks) {
+		return st.info.TotalDuration()
+	}
+	return st.info.Chunks[st.cacheFrom].Timestamp
+}
+
+// cacheLookup reports whether the chunk with the given index is resident
+// in the path's pin set or the leader's buffer.
+func (s *Server) cacheLookup(st *stream, idx int) bool {
+	pc := st.pc
+	if pc == nil {
+		return false
+	}
+	ts := st.info.Chunks[idx].Timestamp
+	if pc.pinAt(ts) {
+		return true
+	}
+	if pc.leader != nil && !pc.leader.closed {
+		if _, ok := pc.leader.buf.At(ts); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheLeaderGone reports that the follower's supply has dried up for
+// good: no leader, or a leader that stopped producing (closed, suspended
+// or worse — a suspended leader's clock is frozen and it fetches nothing).
+func (s *Server) cacheLeaderGone(st *stream) bool {
+	pc := st.pc
+	return pc == nil || pc.leader == nil || pc.leader.closed || pc.leader.health >= Suspended
+}
+
+// cacheAdvance is the follower's phase-2 step, the cache-side counterpart
+// of fetchTargets: advance the promise pointer over every chunk the cache
+// covers up to the horizon. A chunk is covered when it is resident (pinned
+// or in the leader's buffer) or promised — the leader has scheduled its
+// fetch (nextChunk past it) and not yet stamped past it. An uncovered
+// chunk inside the horizon is a miss, and the follower falls back to disk
+// immediately so its reads join this same cycle's batch.
+func (s *Server) cacheAdvance(st *stream, horizon sim.Time) {
+	chunks := st.info.Chunks
+	if st.nextChunk < st.cacheFrom {
+		return // warm-up prefix still owned by the disk path
+	}
+	for st.nextChunk < len(chunks) && chunks[st.nextChunk].Timestamp < horizon {
+		idx := st.nextChunk
+		covered := s.cacheLookup(st, idx)
+		if !covered && !s.cacheLeaderGone(st) {
+			leader := st.pc.leader
+			covered = leader.nextStamp <= idx && leader.nextChunk > idx
+		}
+		if !covered {
+			s.stats.CacheMisses++
+			s.cacheFallback(st, fmt.Sprintf("chunk %d not covered", idx))
+			return
+		}
+		st.nextChunk++
+	}
+}
+
+// cacheStamp is the follower's phase-1 step, the cache-side counterpart of
+// absorbCompletions: stamp every promised chunk that is now resident in
+// the cache into the follower's own time-driven buffer. It mirrors the
+// disk path's late-chunk handling so delivery timing is identical. A
+// promised chunk that never arrived means the leader failed or the pin
+// budget refused it; if it is due within the next interval or the leader
+// cannot supply it anymore, the follower falls back to disk now (phase 2
+// of this same cycle issues the reads).
+func (s *Server) cacheStamp(st *stream, now sim.Time) {
+	if st.nextStamp < st.cacheFrom {
+		return // warm-up prefix chunks arrive through absorbCompletions
+	}
+	chunks := st.info.Chunks
+	logical := st.clock.At(now)
+	tdiscard := logical - st.buf.Jitter()
+	for st.nextStamp < st.nextChunk && st.nextStamp < len(chunks) {
+		c := chunks[st.nextStamp]
+		if !s.cacheLookup(st, st.nextStamp) {
+			leaderPassed := !s.cacheLeaderGone(st) && st.pc.leader.nextStamp > st.nextStamp
+			if s.cacheLeaderGone(st) || leaderPassed || c.Timestamp <= logical+s.cfg.Interval {
+				s.stats.CacheMisses++
+				s.cacheFallback(st, fmt.Sprintf("chunk %d missing at stamp time", st.nextStamp))
+			}
+			return // else: the leader has not produced it yet; wait a cycle
+		}
+		if c.Timestamp < logical && !st.record {
+			st.stats.ChunksLate++
+			if c.Timestamp+c.Duration <= tdiscard {
+				st.nextStamp++
+				continue
+			}
+		}
+		st.buf.Insert(BufferedChunk{
+			Index: st.nextStamp, Timestamp: c.Timestamp, Duration: c.Duration,
+			Size: c.Size, StampedAt: now,
+		})
+		st.stats.ChunksStamped++
+		st.stats.ChunksFromCache++
+		s.stats.CacheHits++
+		s.stats.CacheBytesServed += c.Size
+		st.nextStamp++
+	}
+}
+
+// cachePinDiscard is the leader's phase-1 discard step: chunks falling
+// behind the leader's horizon are pinned for the followers (budget
+// permitting) instead of dropped, and pins every follower has consumed
+// are freed.
+func (s *Server) cachePinDiscard(leader *stream, horizon sim.Time, now sim.Time) {
+	pc := leader.pc
+	popped := leader.buf.PopBefore(horizon)
+
+	// The pin horizon: the slowest follower's discard line. Pins wholly
+	// behind it will never be read again.
+	pinH := horizon
+	for _, f := range pc.followers {
+		if h := f.clock.At(now) - f.buf.Jitter(); h < pinH {
+			pinH = h
+		}
+	}
+
+	for _, c := range popped {
+		if c.Timestamp+c.Duration <= pinH {
+			continue // already behind every follower
+		}
+		if s.icache.bytes+c.Size > s.icache.budget {
+			s.stats.CachePinRefused++
+			continue
+		}
+		if pc.pinInsert(c) {
+			s.icache.bytes += c.Size
+		}
+	}
+	s.icache.bytes -= pc.discardBefore(pinH)
+	if s.icache.bytes > s.stats.CachePinnedPeak {
+		s.stats.CachePinnedPeak = s.icache.bytes
+	}
+}
+
+// cacheFallback converts a follower to plain disk fetching: restore the
+// disk-charging admission parameters, roll the promise pointer back to the
+// stamp point and reposition the byte-fetch machinery there, so phase 2 of
+// the current cycle issues its reads. In-flight warm-up reads are
+// invalidated by the generation bump; already-stamped chunks stay in the
+// buffer. One-way: the stream never reattaches.
+func (s *Server) cacheFallback(st *stream, reason string) {
+	s.cacheDetach(st)
+	st.gen++
+	st.pending = st.pending[:0]
+	st.failedRanges = nil
+	st.nextChunk = st.nextStamp
+	st.setFetchPoint(st.nextStamp)
+	s.stats.CacheFallbacks++
+	s.k.Engine().Tracef("cras: cache fallback stream %d on %s at chunk %d: %s",
+		st.id, st.name, st.nextStamp, reason)
+}
+
+// cacheDetach removes a follower from its path cache without touching the
+// fetch machinery (close and fallback share it), dissolving the cache when
+// no followers remain.
+func (s *Server) cacheDetach(st *stream) {
+	pc := st.pc
+	st.cached = false
+	st.pc = nil
+	st.par = StreamParams{Rate: st.par.Rate, Chunk: st.par.Chunk}
+	s.icache.committed -= st.cachePinCharge
+	st.cachePinCharge = 0
+	if pc == nil {
+		return
+	}
+	for i, f := range pc.followers {
+		if f == st {
+			pc.followers = append(pc.followers[:i], pc.followers[i+1:]...)
+			break
+		}
+	}
+	if len(pc.followers) == 0 {
+		s.cacheDissolve(pc)
+	}
+}
+
+// cacheDissolve frees a path cache's pins and unlinks its leader.
+func (s *Server) cacheDissolve(pc *pathCache) {
+	s.icache.bytes -= pc.bytes
+	pc.bytes = 0
+	pc.pins = nil
+	if pc.leader != nil && pc.leader.pc == pc {
+		pc.leader.pc = nil
+	}
+	pc.leader = nil
+	for i, p := range s.icache.paths {
+		if p == pc {
+			s.icache.paths = append(s.icache.paths[:i], s.icache.paths[i+1:]...)
+			break
+		}
+	}
+}
+
+// cacheOnClose handles a cache participant leaving (crs_close or a
+// recovery eviction). A closing leader's remaining buffer is pinned so the
+// promotion is seamless: the earliest-opened follower — the one furthest
+// ahead, keeping the leader-before-followers stream order — takes over as
+// leader, repositions its fetch machinery at its stamp point and produces
+// from disk for the rest.
+func (s *Server) cacheOnClose(st *stream, now sim.Time) {
+	pc := st.pc
+	if pc == nil {
+		return
+	}
+	if pc.leader != st {
+		s.cacheDetach(st)
+		return
+	}
+
+	// Pin whatever the leader still held; followers keep consuming it
+	// while the promoted leader's first disk batch is in flight.
+	pinH := st.info.TotalDuration() + 1
+	for _, f := range pc.followers {
+		if h := f.clock.At(now) - f.buf.Jitter(); h < pinH {
+			pinH = h
+		}
+	}
+	for _, c := range st.buf.PopBefore(st.info.TotalDuration() + 1) {
+		if c.Timestamp+c.Duration <= pinH {
+			continue
+		}
+		if s.icache.bytes+c.Size > s.icache.budget {
+			s.stats.CachePinRefused++
+			continue
+		}
+		if pc.pinInsert(c) {
+			s.icache.bytes += c.Size
+		}
+	}
+	st.pc = nil
+
+	if len(pc.followers) == 0 {
+		s.cacheDissolve(pc)
+		return
+	}
+	next := pc.followers[0]
+	pc.followers = pc.followers[1:]
+	pc.leader = next
+	next.cached = false
+	next.pc = pc
+	next.par = StreamParams{Rate: next.par.Rate, Chunk: next.par.Chunk}
+	s.icache.committed -= next.cachePinCharge
+	next.cachePinCharge = 0
+	next.gen++
+	next.pending = next.pending[:0]
+	next.failedRanges = nil
+	next.nextChunk = next.nextStamp
+	next.setFetchPoint(next.nextStamp)
+	s.stats.CachePromotions++
+	s.k.Engine().Tracef("cras: cache promote stream %d to leader on %s (leader %d closed, %d followers remain)",
+		next.id, pc.path, st.id, len(pc.followers))
+	if len(pc.followers) == 0 && pc.bytes == 0 {
+		s.cacheDissolve(pc)
+	}
+}
+
+// cacheDetachAll detaches every follower of a path cache (leader seek,
+// leader rate change, or eviction under admission pressure): each falls
+// back to disk fetching, and the cache dissolves.
+func (s *Server) cacheDetachAll(pc *pathCache, reason string) {
+	for len(pc.followers) > 0 {
+		s.cacheFallback(pc.followers[0], reason)
+	}
+}
+
+// cacheEvictLargest implements the deterministic eviction order when a new
+// non-cacheable stream is refused for buffer memory: the path cache
+// spanning the largest interval (leader clock minus slowest follower
+// clock) frees the most pinned RAM per follower converted back to disk.
+// Ties break to the oldest cache, then the lowest leader id. Returns false
+// when there is nothing to evict.
+func (s *Server) cacheEvictLargest(now sim.Time) bool {
+	var victim *pathCache
+	var victimSpan sim.Time
+	for _, pc := range s.icache.paths {
+		if len(pc.followers) == 0 || pc.leader == nil {
+			continue
+		}
+		lead := pc.leader.clock.At(now)
+		slowest := lead
+		for _, f := range pc.followers {
+			if h := f.clock.At(now); h < slowest {
+				slowest = h
+			}
+		}
+		span := lead - slowest
+		if victim == nil || span > victimSpan ||
+			(span == victimSpan && (pc.createdAt < victim.createdAt ||
+				(pc.createdAt == victim.createdAt && pc.leader.id < victim.leader.id))) {
+			victim = pc
+			victimSpan = span
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	s.stats.CacheEvictions++
+	s.k.Engine().Tracef("cras: cache evict path %s (span %v, %d followers) for admission pressure",
+		victim.path, victimSpan, len(victim.followers))
+	s.cacheDetachAll(victim, "cache evicted for admission pressure")
+	return true
+}

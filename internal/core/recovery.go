@@ -136,8 +136,8 @@ func (s *Server) retrySpare() sim.Time {
 	n := 0
 	var bytes int64
 	for _, st := range s.streams {
-		if st.closed {
-			continue
+		if st.closed || st.par.Cached {
+			continue // cache-backed followers issue no steady-state reads
 		}
 		n++
 		bytes += int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
@@ -254,6 +254,7 @@ func (s *Server) setHealth(st *stream, to StreamHealth, reason string) {
 func (s *Server) evict(st *stream, reason string) {
 	st.closed = true
 	st.gen++
+	s.cacheOnClose(st, s.k.Now())
 	s.setHealth(st, Evicted, reason)
 }
 

@@ -29,6 +29,11 @@ type Config struct {
 	MaxRead      int      // largest single disk read; default 256 KB
 	InitialDelay sim.Time // default 2*Interval (the paper's 1 s at T=0.5 s)
 
+	// CacheBudget enables the interval cache (icache.go): bytes of pinned
+	// leader chunks the server may hold to serve trailing streams of the
+	// same path from RAM. 0 (the default) disables caching entirely.
+	CacheBudget int64
+
 	// Thread placement. Quantum 0 = fixed-priority (the paper's normal
 	// configuration); a positive quantum with flattened priorities is the
 	// round-robin configuration of Figure 10.
@@ -137,7 +142,19 @@ type Stats struct {
 	StreamsSuspended   int   // ladder transitions into Suspended
 	StreamsEvicted     int   // ladder transitions into Evicted (sheds included)
 	ShedEvictions      int   // evictions forced by server-wide load shedding
-	Accuracy           []AccuracyRecord
+
+	// Interval-cache activity (icache.go).
+	CacheAttached    int   // streams opened as cache-backed followers
+	CacheHits        int64 // chunks stamped from the cache instead of disk
+	CacheMisses      int64 // cache lookups that failed and forced a fallback
+	CacheFallbacks   int   // followers converted back to disk fetching
+	CachePromotions  int   // followers promoted to leader when theirs closed
+	CacheEvictions   int   // path caches evicted under admission pressure
+	CachePinRefused  int64 // pins refused because the cache budget was full
+	CacheBytesServed int64
+	CachePinnedPeak  int64
+
+	Accuracy []AccuracyRecord
 }
 
 // IOOverrun is sent to the deadline manager when an interval's disk batch
@@ -169,6 +186,7 @@ type Server struct {
 	doneQ    []*readTag
 	inflight []*readTag // submitted reads awaiting completion (watchdog scan set)
 	cycle    int
+	icache   intervalCache
 
 	// Consecutive-I/O-overrun tracking for server-wide shedding,
 	// maintained by the deadline manager thread.
@@ -208,6 +226,7 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 	}
 	s := &Server{
 		k: k, d: d, cfg: cfg, resolver: resolver,
+		icache:       intervalCache{budget: cfg.CacheBudget},
 		reqPort:      k.NewPort("cras.request"),
 		iodonePort:   k.NewPort("cras.iodone"),
 		deadlinePort: k.NewPort("cras.deadline"),
@@ -338,7 +357,7 @@ const FixedFootprint = 250 << 10
 // compactness argument rests on this staying small enough to wire without
 // starving other applications.
 func (s *Server) MemoryFootprint() int64 {
-	total := int64(FixedFootprint)
+	total := int64(FixedFootprint) + s.icache.bytes
 	for _, st := range s.streams {
 		if !st.closed {
 			total += st.buf.Capacity()
@@ -422,8 +441,18 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 		}
 		before := st.stats.ChunksStamped
 		st.absorbCompletions(now)
+		if st.cached {
+			// The open order guarantees the leader was processed earlier in
+			// this loop, so chunks it discarded this cycle are already pinned.
+			s.cacheStamp(st, now)
+		}
 		stamped += st.stats.ChunksStamped - before
-		st.buf.DiscardBefore(st.clock.At(now) - st.buf.Jitter())
+		horizon := st.clock.At(now) - st.buf.Jitter()
+		if st.pc != nil && st.pc.leader == st {
+			s.cachePinDiscard(st, horizon, now)
+		} else {
+			st.buf.DiscardBefore(horizon)
+		}
 	}
 	s.stats.ChunksStamped += stamped
 
@@ -444,11 +473,30 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			// A recorder persists what has been captured up to now.
 			horizon = st.clock.At(now)
 		}
-		tags := st.fetchTargets(horizon)
-		if len(tags) > 0 {
+		issued := 0
+		if st.cached {
+			// The disk fetches only the warm-up prefix the cache cannot
+			// supply; the rest of the horizon advances through the cache.
+			diskH := st.cacheFromTs()
+			if diskH > horizon {
+				diskH = horizon
+			}
+			warm := st.fetchTargets(diskH)
+			issued += len(warm)
+			batch = append(batch, warm...)
+			s.cacheAdvance(st, horizon)
+		}
+		if !st.cached {
+			// Plain stream — or a follower that fell back mid-advance, whose
+			// reads must join this same cycle's batch so the switch to disk
+			// costs at most one interval.
+			tags := st.fetchTargets(horizon)
+			issued += len(tags)
+			batch = append(batch, tags...)
+		}
+		if issued > 0 {
 			active++
 		}
-		batch = append(batch, tags...)
 	}
 
 	// CPU cost of the scheduling work itself.
@@ -594,6 +642,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		}
 		st.closed = true
 		st.gen++
+		s.cacheOnClose(st, now)
 		return opResp{}
 	case startReq:
 		st := s.findStream(r.id)
@@ -614,6 +663,13 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
+		// A seek breaks the temporal overlap the cache relies on: a seeking
+		// follower detaches, a seeking leader strands its followers.
+		if st.pc != nil && st.pc.leader == st {
+			s.cacheDetachAll(st.pc, "leader seeked")
+		} else if st.cached {
+			s.cacheFallback(st, "seek")
+		}
 		st.clock.Seek(now, r.logical)
 		st.seekTo(r.logical)
 		return opResp{}
@@ -621,6 +677,13 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		st := s.findStream(r.id)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
+		// A rate change desynchronizes the clocks the cache pairs rely on:
+		// a leader strands its followers, a follower can no longer trail.
+		if st.pc != nil && st.pc.leader == st {
+			s.cacheDetachAll(st.pc, "leader rate change")
+		} else if st.cached {
+			s.cacheFallback(st, "rate change")
 		}
 		// Rate changes change R_i; re-run admission on the updated set.
 		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
@@ -631,7 +694,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 			}
 			set = append(set, other.par)
 		}
-		if err := s.cfg.Params.Admit(s.cfg.Interval, s.cfg.BufferBudget, append(set, updated)); err != nil {
+		if err := s.cfg.Params.Admit(s.cfg.Interval, s.ramBudget(), append(set, updated)); err != nil {
 			s.stats.AdmissionRejects++
 			return opResp{err: err}
 		}
@@ -663,12 +726,46 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	if err := r.info.Validate(); err != nil {
 		return openResp{err: err}
 	}
+	now := s.k.Now()
 	par := StreamParams{
 		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
 		Chunk: maxChunkSize(r.info),
 	}
+	// Interval cache: a playback open on a path an active stream is already
+	// playing can follow that stream, charging pinned RAM instead of disk
+	// time — provided the steady-state pin reservation fits the budget.
+	leader := s.cacheCandidate(r)
+	var reservation int64
+	if leader != nil {
+		gap := s.cacheGap(leader, now)
+		reservation = s.cachePinReservation(gap, par)
+		if s.icache.committed+reservation > s.icache.budget || gap >= r.info.TotalDuration() {
+			leader = nil
+		} else {
+			par.Cached = true
+			par.CacheBytes = s.cacheCharge(gap, par)
+		}
+	}
 	if !r.force {
-		if err := s.cfg.Params.Admit(s.cfg.Interval, s.cfg.BufferBudget, s.admissionSet(par)); err != nil {
+		for {
+			err := s.cfg.Params.Admit(s.cfg.Interval, s.ramBudget(), s.admissionSet(par))
+			if err == nil {
+				break
+			}
+			if par.Cached {
+				// A follower whose pinned-interval charge does not fit may
+				// still be admissible as a plain disk stream (B_i is never
+				// larger than the cache charge, but adds disk time).
+				par.Cached = false
+				par.CacheBytes = 0
+				leader = nil
+				continue
+			}
+			// A non-cacheable stream refused for buffer memory reclaims
+			// pinned RAM: evict the largest-interval path cache and retry.
+			if ae, ok := err.(*AdmissionError); ok && ae.NeedBuffer > ae.Budget && s.cacheEvictLargest(now) {
+				continue
+			}
 			s.stats.AdmissionRejects++
 			return openResp{err: err}
 		}
@@ -724,6 +821,9 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*par.Rate) + par.Chunk)
 	st.clock.SetRate(s.k.Now(), r.rate)
 	st.seekTo(0)
+	if leader != nil {
+		s.cacheAttach(st, leader, reservation, now)
+	}
 	s.nextID++
 	s.streams = append(s.streams, st)
 	return openResp{st: st}

@@ -18,6 +18,7 @@ type StreamStats struct {
 	ReadRetries     int64
 	ReadErrors      int64 // reads that failed even after the retry budget
 	WatchdogCancels int64 // stalled reads the I/O watchdog abandoned
+	ChunksFromCache int64 // chunks stamped from the interval cache, not disk
 }
 
 // stream is the server-side state of one open continuous media session.
@@ -70,6 +71,16 @@ type stream struct {
 	// chunks overlapping them are dropped rather than stamped.
 	failedRanges [][2]int64
 
+	// Interval-cache state (see icache.go). A cache-backed follower fetches
+	// nothing from disk past cacheFrom while the leader's buffer and the
+	// pinned interval cover its horizon; cached turns false forever once the
+	// stream falls back to disk. pc is set while the stream participates in
+	// a path cache, as leader or follower.
+	cached         bool
+	pc             *pathCache
+	cacheFrom      int   // first chunk index the cache can supply
+	cachePinCharge int64 // pin-byte reservation held against the cache budget
+
 	// Degradation-ladder state, advanced once per cycle by the recovery
 	// engine (see recovery.go for the ladder semantics).
 	health       StreamHealth
@@ -119,6 +130,13 @@ func (s *stream) seekTo(logical sim.Time) {
 	}
 	s.nextChunk = idx
 	s.nextStamp = idx
+	s.setFetchPoint(idx)
+}
+
+// setFetchPoint positions the byte-fetch machinery at the chunk with the
+// given index, leaving the buffer, clock, generation and stamp pointers
+// alone. Used by seekTo and by the interval cache's disk fallback.
+func (s *stream) setFetchPoint(idx int) {
 	var off int64
 	if idx < len(s.info.Chunks) {
 		off = s.info.Chunks[idx].Offset

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/sim"
 )
 
@@ -31,6 +33,7 @@ type TDBuffer struct {
 	Inserted    int64
 	Discarded   int64 // by the time-driven rule
 	Overflowed  int64 // inserts refused for lack of space (should not happen)
+	Overlapped  int64 // inserts refused because the logical interval was taken
 	PeakBytes   int64
 	GetHits     int64
 	GetMisses   int64
@@ -48,9 +51,16 @@ func NewTDBuffer(capacity int64, jitter sim.Time) *TDBuffer {
 func (b *TDBuffer) Capacity() int64 { return b.capacity }
 
 // SetCapacity resizes the buffer (used when a rate change re-admits the
-// stream with a different R_i). Resident data is kept even if it now
-// exceeds the capacity; the time-driven discard drains it.
-func (b *TDBuffer) SetCapacity(capacity int64) { b.capacity = capacity }
+// stream with a different R_i). The capacity never shrinks below the bytes
+// currently resident: evicting live data would drop chunks that are still
+// needed, so a shrink takes effect only as the time-driven discard drains
+// the excess.
+func (b *TDBuffer) SetCapacity(capacity int64) {
+	if capacity < b.bytes {
+		capacity = b.bytes
+	}
+	b.capacity = capacity
+}
 
 // Bytes returns the bytes currently resident.
 func (b *TDBuffer) Bytes() int64 { return b.bytes }
@@ -58,15 +68,28 @@ func (b *TDBuffer) Bytes() int64 { return b.bytes }
 // Len returns the number of resident chunks.
 func (b *TDBuffer) Len() int { return len(b.chunks) }
 
-// Insert stamps a chunk into the buffer. It reports whether the chunk fit;
-// a false return is counted as an overflow (the admission test is supposed
-// to make this impossible).
+// Insert stamps a chunk into the buffer, keeping the resident set ordered
+// by timestamp and non-overlapping in logical time. It reports whether the
+// chunk fit; a refusal for space is counted as an overflow (the admission
+// test is supposed to make this impossible), a refusal because another
+// chunk already covers part of the logical interval as an overlap.
 func (b *TDBuffer) Insert(c BufferedChunk) bool {
 	if b.bytes+c.Size > b.capacity {
 		b.Overflowed++
 		return false
 	}
-	b.chunks = append(b.chunks, c)
+	at := sort.Search(len(b.chunks), func(i int) bool { return b.chunks[i].Timestamp >= c.Timestamp })
+	if at < len(b.chunks) && b.chunks[at].Timestamp < c.Timestamp+c.Duration {
+		b.Overlapped++
+		return false
+	}
+	if at > 0 && b.chunks[at-1].Timestamp+b.chunks[at-1].Duration > c.Timestamp {
+		b.Overlapped++
+		return false
+	}
+	b.chunks = append(b.chunks, BufferedChunk{})
+	copy(b.chunks[at+1:], b.chunks[at:])
+	b.chunks[at] = c
 	b.bytes += c.Size
 	b.Inserted++
 	if b.bytes > b.PeakBytes {
@@ -79,6 +102,14 @@ func (b *TDBuffer) Insert(c BufferedChunk) bool {
 // is earlier than tdiscard is removed. The caller computes tdiscard as
 // logicalNow - J.
 func (b *TDBuffer) DiscardBefore(tdiscard sim.Time) int {
+	return len(b.PopBefore(tdiscard))
+}
+
+// PopBefore is DiscardBefore returning the removed chunks, oldest first —
+// the hook the interval cache uses to pin a leader's obsolete chunks for a
+// trailing stream instead of dropping them. Returns nil when nothing fell
+// behind the horizon.
+func (b *TDBuffer) PopBefore(tdiscard sim.Time) []BufferedChunk {
 	n := 0
 	for n < len(b.chunks) && b.chunks[n].Timestamp < tdiscard {
 		b.bytes -= b.chunks[n].Size
@@ -89,10 +120,23 @@ func (b *TDBuffer) DiscardBefore(tdiscard sim.Time) int {
 		delete(b.read, b.chunks[n].Index)
 		n++
 	}
-	if n > 0 {
-		b.chunks = append(b.chunks[:0], b.chunks[n:]...)
+	if n == 0 {
+		return nil
 	}
-	return n
+	popped := append([]BufferedChunk(nil), b.chunks[:n]...)
+	b.chunks = append(b.chunks[:0], b.chunks[n:]...)
+	return popped
+}
+
+// At returns the resident chunk with exactly the given timestamp, if any —
+// the interval cache's residency probe, distinct from Get in that it does
+// not count a hit or miss and does not mark the chunk read.
+func (b *TDBuffer) At(timestamp sim.Time) (BufferedChunk, bool) {
+	at := sort.Search(len(b.chunks), func(i int) bool { return b.chunks[i].Timestamp >= timestamp })
+	if at < len(b.chunks) && b.chunks[at].Timestamp == timestamp {
+		return b.chunks[at], true
+	}
+	return BufferedChunk{}, false
 }
 
 // Get returns the chunk covering the given logical time, if resident —

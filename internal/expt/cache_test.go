@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// The ISSUE's acceptance criterion for the interval cache, as a regression
+// test: with total RAM held constant, a skewed (Zipf 1.1) viewer population
+// must see strictly more admitted streams with a cache budget than without,
+// and the cache must visibly displace disk traffic.
+func TestCacheSweepAdmitsMoreAtEqualRAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-machine sweep")
+	}
+	res := RunCacheSweep(CacheSweepConfig{
+		Seed:     1,
+		Duration: 8 * time.Second,
+		Alphas:   []float64{1.1},
+		Budgets:  []int64{0, 16 << 20},
+	})
+	base := res.Point(1.1, 0)
+	cached := res.Point(1.1, 16<<20)
+	if base == nil || cached == nil {
+		t.Fatalf("sweep missing points: %+v", res.Points)
+	}
+	t.Logf("no cache: %+v", *base)
+	t.Logf("16MB cache: %+v", *cached)
+
+	if base.Rejected == 0 {
+		t.Error("baseline rejected nobody — the sweep no longer saturates the disk bound")
+	}
+	if cached.Admitted <= base.Admitted {
+		t.Errorf("admitted %d with cache, %d without: cache-aware admission bought nothing",
+			cached.Admitted, base.Admitted)
+	}
+	if cached.CacheBacked == 0 || cached.CacheHits == 0 {
+		t.Errorf("cache run shows no cache service: backed %d, hits %d",
+			cached.CacheBacked, cached.CacheHits)
+	}
+	if cached.BytesRead >= base.BytesRead {
+		t.Errorf("cache run read %d disk bytes, baseline %d: no displacement",
+			cached.BytesRead, base.BytesRead)
+	}
+	if cached.Lost > base.Lost {
+		t.Errorf("cache run lost %d frames, baseline %d", cached.Lost, base.Lost)
+	}
+}

@@ -77,11 +77,6 @@ func (c *PlayerConfig) fill(frameDur sim.Time) {
 // own thread and fills stats as it goes; Done is set when playback ends.
 func CRASPlayer(k *rtm.Kernel, srv *core.Server, info *media.StreamInfo, path string,
 	opts core.OpenOptions, cfg PlayerConfig, stats *PlayerStats) *rtm.Thread {
-	frameDur := sim.Time(time.Second)
-	if len(info.Chunks) > 0 {
-		frameDur = info.Chunks[0].Duration
-	}
-	cfg.fill(frameDur)
 	return k.NewThread("crasplay:"+path, cfg.Priority, cfg.Quantum, func(th *rtm.Thread) {
 		defer func() { stats.Done = true }()
 		h, err := srv.Open(th, info, path, opts)
@@ -89,43 +84,7 @@ func CRASPlayer(k *rtm.Kernel, srv *core.Server, info *media.StreamInfo, path st
 			return
 		}
 		defer h.Close(th)
-		if err := h.Start(th); err != nil {
-			return
-		}
-		frames := len(info.Chunks)
-		if cfg.MaxFrames > 0 && cfg.MaxFrames < frames {
-			frames = cfg.MaxFrames
-		}
-		stats.Frames = frames
-		begin := sim.Time(-1)
-		for i := 0; i < frames; i++ {
-			c := info.Chunks[i]
-			due := h.ClockStartsAt(c.Timestamp)
-			if begin < 0 {
-				begin = due // span starts when playback is scheduled to begin
-			}
-			if due >= 0 && k.Now() < due {
-				th.SleepUntil(due)
-			}
-			// The wait budget anchors to the due time, so a run of lost
-			// frames cannot push the player ever further behind the
-			// stream's clock (it skips, as a real player would).
-			limit := due + cfg.GiveUp
-			for {
-				if _, ok := h.Get(c.Timestamp); ok {
-					d := k.Now() - due
-					stats.record(k.Now(), d, c.Size, cfg.Tolerance)
-					th.Compute(cfg.FrameCPU)
-					break
-				}
-				if k.Now() >= limit {
-					stats.Lost++
-					break
-				}
-				th.Sleep(cfg.Poll)
-			}
-			stats.Span = k.Now() - begin
-		}
+		playViewer(k, th, h, info, cfg, stats)
 	})
 }
 

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates the checked-in evaluation output. CI re-runs this and diffs,
+# so crasbench_output.txt can never drift from what the code produces.
+# Quick mode keeps the fixed-seed sweep small enough for a PR gate; run
+# `go run ./cmd/crasbench -all` by hand for the full-size tables.
+set -e
+cd "$(dirname "$0")/.."
+go run ./cmd/crasbench -all -quick -seed 1 > crasbench_output.txt
+echo "regenerated crasbench_output.txt" >&2
