@@ -8,7 +8,7 @@
 //	crasbench -all                # everything (several minutes of CPU)
 //	crasbench -fig 6              # one figure (6, 7, 8, 9, 10, 12)
 //	crasbench -table 4            # Table 4
-//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache
+//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache | overload
 //	crasbench -fig 6 -quick       # smaller sweeps for a fast look
 //	crasbench -fig 6 -delay 3s    # the Section 3.1 longer-initial-delay run
 package main
@@ -26,7 +26,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9, 10, 12)")
 		table    = flag.Int("table", 0, "table to regenerate (4)")
-		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache")
+		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache | overload")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "smaller sweeps and shorter runs")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -108,6 +108,15 @@ func main() {
 			cfg.Budgets = []int64{0, 16 << 20}
 		}
 		fmt.Println(expt.RunCacheSweep(cfg).Table())
+		ran = true
+	}
+	if *all || *extra == "overload" {
+		cfg := expt.OverloadSweepConfig{Seed: *seed, Duration: *duration}
+		if *quick && *duration == 0 {
+			cfg.Duration = 8 * time.Second
+			cfg.Rates = []float64{4, 64}
+		}
+		fmt.Println(expt.RunOverloadSweep(cfg).Table())
 		ran = true
 	}
 	if !ran {

@@ -171,7 +171,7 @@ func (s directiveSet) allows(d Diagnostic) bool {
 
 // All returns the crasvet analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, RNGSource, EventLoop, IOErrCheck}
+	return []*Analyzer{SimClock, RNGSource, EventLoop, IOErrCheck, PortBound}
 }
 
 // suffixScope returns a Scope matching packages whose import path equals or

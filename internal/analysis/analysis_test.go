@@ -61,6 +61,10 @@ func TestIOErrCheck(t *testing.T) {
 	analysistest.Run(t, "testdata/src/ioerrcheck", analysis.NewIOErrCheck("ioerrcheck/fakedisk"))
 }
 
+func TestPortBound(t *testing.T) {
+	analysistest.Run(t, "testdata/src/portbound", analysis.NewPortBound("portbound/fakertm"))
+}
+
 // TestSuiteCleanOnOwnPackage is an integration test of the loader and the
 // full suite: the analysis package itself must load, type-check without
 // errors, and come back clean.

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PortBound flags call sites that discard a bounded port's rejection result.
+// rtm.BoundedPort.Send reports refusal through its bool and Call through its
+// error; code that drops either treats a turned-away message as delivered,
+// which is exactly the silent-loss failure the bounded request queue exists
+// to prevent — overload must surface to the caller, not vanish.
+var PortBound = NewPortBound("internal/rtm")
+
+// NewPortBound builds a portbound analyzer guarding methods of a type named
+// BoundedPort declared in a package whose import path equals or ends with
+// one of the given suffixes. The default instance guards internal/rtm; tests
+// build instances pointed at fixture packages.
+func NewPortBound(pkgSuffixes ...string) *Analyzer {
+	match := suffixScope(pkgSuffixes...)
+	a := &Analyzer{
+		Name: "portbound",
+		Doc: "forbid discarding a bounded port's rejection result (Send's bool, Call's error); " +
+			"a dropped rejection turns overload into silent message loss",
+		Scope: nil, // callers live in many packages; the callee check scopes it
+	}
+	a.Run = func(pass *Pass) error { return runPortBound(pass, match) }
+	return a
+}
+
+func runPortBound(pass *Pass, guarded func(string) bool) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedRejection(pass, guarded, n.X, "discarded")
+			case *ast.DeferStmt:
+				checkDroppedRejection(pass, guarded, n.Call, "discarded by defer")
+			case *ast.GoStmt:
+				checkDroppedRejection(pass, guarded, n.Call, "discarded by go")
+			case *ast.AssignStmt:
+				checkBlankRejection(pass, guarded, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// boundedPortMethod resolves a call to a method of a guarded BoundedPort and
+// returns the index of its rejection result, or nil / -1.
+func boundedPortMethod(info *types.Info, guarded func(string) bool, call *ast.CallExpr) (*types.Func, int) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !guarded(fn.Pkg().Path()) {
+		return nil, -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, -1
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "BoundedPort" {
+		return nil, -1
+	}
+	return fn, rejectionResultIndex(sig)
+}
+
+// rejectionResultIndex is the error result if the method has one, otherwise
+// its last bool result (Send's accepted flag), otherwise -1.
+func rejectionResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	idx := -1
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+		if b, ok := res.At(i).Type().(*types.Basic); ok && b.Kind() == types.Bool {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// checkDroppedRejection reports a guarded call used as a bare statement.
+func checkDroppedRejection(pass *Pass, guarded func(string) bool, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, idx := boundedPortMethod(pass.TypesInfo, guarded, call)
+	if fn == nil || idx < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"rejection result of %s.%s %s; a bounded port's refusal must be handled, not dropped",
+		fn.Pkg().Name(), qualifiedName(fn), how)
+}
+
+// checkBlankRejection reports guarded calls whose rejection result lands in
+// the blank identifier, covering `_ = p.Send(m)` and `r, _ := p.Call(t, m)`.
+func checkBlankRejection(pass *Pass, guarded func(string) bool, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			fn, idx := boundedPortMethod(pass.TypesInfo, guarded, call)
+			if fn == nil || idx < 0 {
+				return
+			}
+			if len(as.Lhs) > idx && isBlank(as.Lhs[idx]) {
+				pass.Reportf(as.Lhs[idx].Pos(),
+					"rejection result of %s.%s assigned to _; a bounded port's refusal must be handled, not dropped",
+					fn.Pkg().Name(), qualifiedName(fn))
+			}
+			return
+		}
+	}
+	// Parallel assignment: match each RHS call to its LHS.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBlank(as.Lhs[i]) {
+				continue
+			}
+			fn, idx := boundedPortMethod(pass.TypesInfo, guarded, call)
+			if fn == nil || idx != 0 {
+				continue
+			}
+			pass.Reportf(as.Lhs[i].Pos(),
+				"rejection result of %s.%s assigned to _; a bounded port's refusal must be handled, not dropped",
+				fn.Pkg().Name(), qualifiedName(fn))
+		}
+	}
+}

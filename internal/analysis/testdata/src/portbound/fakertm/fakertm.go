@@ -1,0 +1,19 @@
+// Package fakertm stands in for internal/rtm in the portbound fixtures.
+package fakertm
+
+type Thread struct{}
+
+// BoundedPort mirrors the real API: Send reports refusal with a bool, Call
+// with an error, ReceiveCall with an ok flag.
+type BoundedPort struct{}
+
+func (b *BoundedPort) Send(msg any) bool                            { return true }
+func (b *BoundedPort) Call(t *Thread, req any) (any, error)         { return nil, nil }
+func (b *BoundedPort) ReceiveCall(t *Thread) (any, func(any), bool) { return nil, nil, false }
+func (b *BoundedPort) Rejected() int64                              { return 0 }
+
+// Port is the unbounded kind: its sends cannot be refused, so discarding
+// nothing is at stake and the analyzer must leave it alone.
+type Port struct{}
+
+func (p *Port) Send(msg any) {}

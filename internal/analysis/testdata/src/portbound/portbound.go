@@ -1,0 +1,37 @@
+package portbound
+
+import "portbound/fakertm"
+
+func drops(b *fakertm.BoundedPort, t *fakertm.Thread) {
+	b.Send(nil)                     // want "rejection result of fakertm.BoundedPort.Send discarded"
+	go b.Send(nil)                  // want "rejection result of fakertm.BoundedPort.Send discarded by go"
+	_ = b.Send(nil)                 // want "rejection result of fakertm.BoundedPort.Send assigned to _"
+	b.Call(t, nil)                  // want "rejection result of fakertm.BoundedPort.Call discarded"
+	defer b.Call(t, nil)            // want "rejection result of fakertm.BoundedPort.Call discarded by defer"
+	r, _ := b.Call(t, nil)          // want "rejection result of fakertm.BoundedPort.Call assigned to _"
+	_, _ = b.Send(nil), b.Send(nil) // want "rejection result of fakertm.BoundedPort.Send assigned to _" "rejection result of fakertm.BoundedPort.Send assigned to _"
+	_ = r
+}
+
+func handled(b *fakertm.BoundedPort, t *fakertm.Thread) error {
+	if !b.Send(nil) {
+		return nil
+	}
+	ok := b.Send(nil)
+	_ = ok
+	if _, err := b.Call(t, nil); err != nil {
+		return err
+	}
+	req, reply, ok2 := b.ReceiveCall(t)
+	_, _, _ = req, reply, ok2
+	// Result-free reads and the unbounded port are no business of the
+	// analyzer's.
+	b.Rejected()
+	var p fakertm.Port
+	p.Send(nil)
+	return nil
+}
+
+func sanctioned(b *fakertm.BoundedPort) {
+	b.Send(nil) //crasvet:allow portbound -- fixture: best-effort notification
+}

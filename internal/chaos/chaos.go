@@ -8,6 +8,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -63,6 +64,46 @@ type Scenario struct {
 	// LeaderCloseAt, when nonzero, closes stream 0 this long after the
 	// control thread starts — mid-overlap, so a follower must be promoted.
 	LeaderCloseAt sim.Time
+
+	// Client-misbehavior drills (control-plane hardening). At most one of
+	// CrashAt/GoSilentAt/SeekStorm is set, and it always afflicts stream 0;
+	// the invariants then demand the misbehaving client costs only itself.
+
+	// CrashAt makes player 0's client die without closing at this time: its
+	// per-session port is destroyed and the dead-name path must reap the
+	// session immediately.
+	CrashAt sim.Time
+
+	// GoSilentAt makes player 0 stop consuming (and renewing) at this time
+	// while leaving the session open: the lease reaper must evict it within
+	// the TTL, reclaiming its buffer and admission slot.
+	GoSilentAt sim.Time
+
+	// SeekStorm makes player 0 fire this many back-to-back seeks at
+	// StormAt. With the control budget lowered to 4 the storm must be paced
+	// across windows — never refused — without starving its peers.
+	SeekStorm int
+	StormAt   sim.Time
+
+	// OpenFlood launches this many one-shot no-op clients against the
+	// server one second in, with the control budget at 4 and the request
+	// queue capped at FloodQueueCap: a handful get admitted (and hang up),
+	// the rest must be turned away as typed overload, splitting between the
+	// shed gate and the bounded port.
+	OpenFlood     int
+	FloodQueueCap int
+
+	// DrainAfter, when nonzero, calls Server.Drain(DrainGrace) at this
+	// time. The run must end with the server stopped and no stream leaked,
+	// no matter what the fault model was doing.
+	DrainAfter sim.Time
+	DrainGrace sim.Time
+}
+
+// misbehaves reports whether stream 0 is scripted to abuse the server,
+// which exempts it (and only it) from the delivery assertions.
+func (sc Scenario) misbehaves() bool {
+	return sc.CrashAt > 0 || sc.GoSilentAt > 0 || sc.SeekStorm > 0
 }
 
 // PlayerOutcome is one stream's delivery record.
@@ -85,6 +126,10 @@ type Result struct {
 	Players  []PlayerOutcome
 	Ladder   []core.StreamHealthEvent
 
+	// Open-flood outcome split (OpenFlood scenarios only).
+	FloodAdmitted   int
+	FloodTurnedAway int
+
 	Violations []string
 }
 
@@ -104,6 +149,10 @@ type playerState struct {
 	done     bool
 	closeAt  sim.Time // nonzero: hang up at this time instead of finishing
 	closed   bool
+	crashAt  sim.Time // nonzero: die without closing (client crash)
+	silentAt sim.Time // nonzero: stop consuming but leave the session open
+	stormAt  sim.Time // nonzero: fire stormN seeks at this time
+	stormN   int
 }
 
 // Run executes one scenario to completion and checks its invariants.
@@ -139,6 +188,9 @@ func Run(sc Scenario) *Result {
 	if sc.LeaderCloseAt > 0 {
 		players[0].closeAt = sc.LeaderCloseAt
 	}
+	players[0].crashAt = sc.CrashAt
+	players[0].silentAt = sc.GoSilentAt
+	players[0].stormAt, players[0].stormN = sc.StormAt, sc.SeekStorm
 
 	var model *disk.FaultModel
 	var serverStart sim.Time
@@ -155,6 +207,12 @@ func Run(sc Scenario) *Result {
 	}
 	if sc.Share {
 		cfg.CacheBudget = 32 << 20
+	}
+	if sc.OpenFlood > 0 || sc.SeekStorm > 0 {
+		cfg.MaxRequestsPerCycle = 4 // make the shed gate / deferral bite
+	}
+	if sc.FloodQueueCap > 0 {
+		cfg.RequestQueueCap = sc.FloodQueueCap
 	}
 	m := lab.Build(lab.Setup{
 		Seed:   sc.Seed,
@@ -216,6 +274,27 @@ func Run(sc Scenario) *Result {
 				}
 				spawn(i)
 			}
+			if sc.OpenFlood > 0 {
+				th.SleepUntil(serverStart + sim.Time(time.Second))
+				for f := 0; f < sc.OpenFlood; f++ {
+					m.Kernel.NewThread(fmt.Sprintf("chaos.flood%d", f), rtm.PrioTS, 0, func(ft *rtm.Thread) {
+						h, err := m.CRAS.Open(ft, infos[0], paths[0], core.OpenOptions{})
+						switch {
+						case err == nil:
+							res.FloodAdmitted++
+							h.Close(ft)
+						case errors.Is(err, core.ErrOverloaded):
+							res.FloodTurnedAway++
+						default:
+							res.violate("flood open failed with untyped error: %v", err)
+						}
+					})
+				}
+			}
+			if sc.DrainAfter > 0 {
+				th.SleepUntil(serverStart + sc.DrainAfter)
+				m.CRAS.Drain(sc.DrainGrace)
+			}
 		})
 	})
 
@@ -271,6 +350,27 @@ func playStream(m *lab.Machine, pt *rtm.Thread, ps *playerState, info *media.Str
 		return
 	}
 	for i := range info.Chunks {
+		if ps.crashAt > 0 && m.Kernel.Now() >= ps.crashAt {
+			// The client dies without closing: the kernel reclaims its
+			// ports and the server must find out via dead-name.
+			h.Crash()
+			return
+		}
+		if ps.silentAt > 0 && m.Kernel.Now() >= ps.silentAt {
+			// The client stops consuming and renewing but leaves the
+			// session open; reclaiming it is the lease reaper's job.
+			return
+		}
+		if ps.stormN > 0 && m.Kernel.Now() >= ps.stormAt {
+			n := ps.stormN
+			ps.stormN = 0
+			for k := 0; k < n; k++ {
+				if err := h.Seek(pt, h.LogicalNow()); err != nil {
+					res.violate("%s: seek %d of storm refused: %v", ps.path, k, err)
+					return
+				}
+			}
+		}
 		if ps.closeAt > 0 && m.Kernel.Now() >= ps.closeAt {
 			// Scenario says hang up mid-movie (a leader quitting under its
 			// followers); the frames never played are not losses.
@@ -312,6 +412,10 @@ func playStream(m *lab.Machine, pt *rtm.Thread, ps *playerState, info *media.Str
 			pt.Sleep(2 * time.Millisecond)
 		}
 	}
+	// A well-behaved client hangs up when the movie ends. The close may
+	// lose the race against a ladder eviction or the drain deadline — that
+	// duplicate-close error is not the player's problem.
+	h.Close(pt)
 }
 
 // checkInvariants fills Result.Violations from the campaign's assertions.
@@ -325,8 +429,14 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		}
 	}
 
-	// The periodic scheduler kept its cadence for the whole run.
+	// The periodic scheduler kept its cadence for the whole run — or, when
+	// a drain was scripted, until the drain shut it down.
 	minCycles := int(r.Elapsed/interval) - 3
+	if r.Scenario.DrainAfter > 0 {
+		if byDrain := int((r.Scenario.DrainAfter+r.Scenario.DrainGrace)/interval) - 1; byDrain < minCycles {
+			minCycles = byDrain
+		}
+	}
 	if r.Server.Cycles < minCycles {
 		r.violate("scheduler wedged: %d cycles over %v (want >= %d)", r.Server.Cycles, r.Elapsed, minCycles)
 	}
@@ -380,14 +490,98 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		if r.Scenario.Victim && i == 0 {
 			continue // the victim is expected to lose its poisoned range
 		}
+		if r.Scenario.misbehaves() && i == 0 {
+			continue // the misbehaver pays its own price; peers are checked
+		}
 		if p.Obtained == 0 {
 			r.violate("%s: no frames delivered at all", p.Path)
 		}
 		if r.Scenario.ZeroLoss && p.Lost != 0 {
 			r.violate("%s: lost %d frames in a zero-loss scenario", p.Path, p.Lost)
 		}
+		if r.Scenario.DrainAfter > 0 {
+			continue // frames past the drain deadline are forfeit by design
+		}
 		if p.Lost > p.Frames/2 && !(r.Scenario.Share && r.Scenario.Victim) {
 			r.violate("%s: lost %d/%d frames — server effectively down", p.Path, p.Lost, p.Frames)
+		}
+	}
+
+	r.checkMisbehavior(m)
+}
+
+// leaseTTL is the default the campaign's servers run with (8*T).
+const leaseTTL = 8 * interval
+
+// checkMisbehavior asserts the control-plane hardening contract: a
+// misbehaving client is contained and billed, and only itself.
+func (r *Result) checkMisbehavior(m *lab.Machine) {
+	sc := r.Scenario
+	if sc.CrashAt > 0 {
+		if r.Server.SessionsReaped == 0 {
+			r.violate("client crashed at %v but no session was reaped", sc.CrashAt)
+		}
+		if r.Server.LeasesExpired != 0 {
+			r.violate("crash was reaped via lease expiry (%d), not the dead-name fast path",
+				r.Server.LeasesExpired)
+		}
+	}
+	if sc.GoSilentAt > 0 {
+		if r.Server.LeasesExpired == 0 || r.Server.SessionsReaped == 0 {
+			r.violate("client went silent at %v but LeasesExpired = %d, SessionsReaped = %d",
+				sc.GoSilentAt, r.Server.LeasesExpired, r.Server.SessionsReaped)
+		}
+		// Reclamation within the TTL: the eviction lands on the first cycle
+		// boundary after the lease ran out (one interval of scan slack).
+		reapBy := sc.GoSilentAt + leaseTTL + 2*interval
+		reaped := false
+		for _, ev := range r.Ladder {
+			if ev.Path == r.Players[0].Path && ev.To == core.Evicted {
+				reaped = true
+				if at := sim.Time(ev.Cycle) * interval; at > reapBy {
+					r.violate("silent client reaped at cycle %d (~%v), after the TTL bound %v",
+						ev.Cycle, at, reapBy)
+				}
+			}
+		}
+		if !reaped {
+			r.violate("silent client never evicted")
+		}
+	}
+	if sc.SeekStorm > 0 {
+		// The storm is paced, never refused, and the stream survives it.
+		if r.Server.RequestsShed != 0 {
+			r.violate("RequestsShed = %d; session ops must be deferred, not shed", r.Server.RequestsShed)
+		}
+		if r.Server.SessionsReaped != 0 {
+			r.violate("storm client reaped mid-storm: a client blocked in an RPC is alive")
+		}
+	}
+	if sc.OpenFlood > 0 {
+		if got := r.FloodAdmitted + r.FloodTurnedAway; got != sc.OpenFlood {
+			r.violate("flood outcomes %d (admitted %d + turned away %d) != %d launched",
+				got, r.FloodAdmitted, r.FloodTurnedAway, sc.OpenFlood)
+		}
+		if r.FloodAdmitted == 0 || r.FloodAdmitted > 8 {
+			r.violate("flood admitted %d of %d; want a trickle bounded by the budget",
+				r.FloodAdmitted, sc.OpenFlood)
+		}
+		if r.Server.RequestsShed == 0 {
+			r.violate("open flood produced no shed requests")
+		}
+		if r.Server.SendsRejected == 0 {
+			r.violate("open flood never hit the bounded request queue")
+		}
+	}
+	if sc.DrainAfter > 0 {
+		if !m.CRAS.Stopped() {
+			r.violate("server still running after drain")
+		}
+		if n := m.CRAS.ActiveStreams(); n != 0 {
+			r.violate("%d streams leaked past the drain deadline", n)
+		}
+		if r.Server.DrainEvictions == 0 {
+			r.violate("no drain evictions recorded for clients that never hang up")
 		}
 	}
 }
@@ -453,6 +647,42 @@ func Campaign(base int64) []Scenario {
 			Faults:  disk.FaultConfig{StallProb: 0.5, MaxStalls: 2},
 			Share:   true, StaggerOpen: 2 * time.Second,
 			LeaderCloseAt: 3500 * time.Millisecond,
+		},
+	)
+	// Client-misbehavior drills: the control-plane hardening contract under
+	// a dead client, a consumer that stops consuming, a seek storm, a
+	// 64-client open flood, and a drain racing the fault injector. All at
+	// two streams so Quick keeps them.
+	out = append(out,
+		Scenario{
+			Name: "client-crash-midplay/s2", Seed: base*1000 + 102,
+			Streams: 2, ZeroLoss: true,
+			CrashAt: 3500 * time.Millisecond,
+		},
+		Scenario{
+			Name: "client-goes-silent/s2", Seed: base*1000 + 103,
+			Streams: 2, ZeroLoss: true,
+			GoSilentAt: 3 * time.Second,
+		},
+		Scenario{
+			Name: "seek-storm/s2", Seed: base*1000 + 104,
+			Streams: 2, ZeroLoss: true,
+			SeekStorm: 24, StormAt: 3 * time.Second,
+		},
+		Scenario{
+			Name: "open-flood/s2", Seed: base*1000 + 105,
+			Streams: 2, ZeroLoss: true,
+			OpenFlood: 64, FloodQueueCap: 4,
+		},
+		Scenario{
+			Name: "drain-under-faults/s2", Seed: base*1000 + 106,
+			Streams: 2,
+			Faults: disk.FaultConfig{
+				TransientProb: 0.05,
+				LatencyProb:   0.2, LatencyMin: 5 * time.Millisecond, LatencyMax: 25 * time.Millisecond,
+				StallProb: 0.1, MaxStalls: 2,
+			},
+			DrainAfter: 3 * time.Second, DrainGrace: 2 * time.Second,
 		},
 	)
 	return out

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/media"
 	"repro/internal/rtm"
 	"repro/internal/sim"
@@ -26,18 +28,50 @@ type Handle struct {
 	st  *stream
 }
 
+// call performs one request-manager RPC, translating port-level failures
+// into server-level errors: a destroyed request port means the signal
+// handler has run (ErrServerDown); a full one means the control plane is
+// saturated beyond even its queue, which is overload by another route.
+func (s *Server) call(th *rtm.Thread, req any) (any, error) {
+	resp, err := s.reqPort.Call(th, req)
+	switch {
+	case err == nil:
+		return resp, nil
+	case errors.Is(err, rtm.ErrPortDead):
+		return nil, ErrServerDown
+	case errors.Is(err, rtm.ErrPortFull):
+		return nil, &OverloadError{RetryAfter: s.cfg.Interval, Reason: "request queue full"}
+	}
+	return nil, err
+}
+
+// op performs an RPC whose reply is a bare error.
+func (s *Server) op(th *rtm.Thread, req any) error {
+	resp, err := s.call(th, req)
+	if err != nil {
+		return err
+	}
+	return resp.(opResp).err
+}
+
+func (s *Server) open(th *rtm.Thread, r openReq) (*Handle, error) {
+	resp, err := s.call(th, r)
+	if err != nil {
+		return nil, err
+	}
+	or := resp.(openResp)
+	if or.err != nil {
+		return nil, or.err
+	}
+	return &Handle{srv: s, st: or.st}, nil
+}
+
 // Open establishes a session for the media file at path using the supplied
 // chunk table (which the application loaded from the control file via the
 // Unix server), runs the admission test, and sets up the shared buffer.
 // This is crs_open.
 func (s *Server) Open(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
-	resp := s.reqPort.Call(th, openReq{
-		info: info, path: path, rate: opts.Rate, force: opts.Force,
-	}).(openResp)
-	if resp.err != nil {
-		return nil, resp.err
-	}
-	return &Handle{srv: s, st: resp.st}, nil
+	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, force: opts.Force})
 }
 
 // OpenRecord establishes a constant-rate recording session: the media file
@@ -47,52 +81,65 @@ func (s *Server) Open(th *rtm.Thread, info *media.StreamInfo, path string, opts 
 // paper's Conclusions describe. Start/Stop/Seek/Close behave as for
 // playback; the logical clock models the capture source.
 func (s *Server) OpenRecord(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
-	resp := s.reqPort.Call(th, openReq{
-		info: info, path: path, rate: opts.Rate, force: opts.Force, record: true,
-	}).(openResp)
-	if resp.err != nil {
-		return nil, resp.err
-	}
-	return &Handle{srv: s, st: resp.st}, nil
+	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, force: opts.Force, record: true})
+}
+
+// op performs a session RPC for this handle. The in-flight window is
+// tracked on the stream so the lease scan never reaps a session whose
+// client is blocked in a queued call — a client waiting on the server is
+// alive however long the backlog — and the lease is renewed when the call
+// returns. The engine is single-threaded, so the counter is race-free.
+func (h *Handle) op(th *rtm.Thread, req any) error {
+	h.st.rpcInFlight++
+	err := h.srv.op(th, req)
+	h.st.rpcInFlight--
+	h.st.touch(h.srv.k.Now())
+	return err
 }
 
 // Close ends the session and releases its buffer memory (crs_close).
 func (h *Handle) Close(th *rtm.Thread) error {
-	return h.srv.reqPort.Call(th, closeReq{id: h.st.id}).(opResp).err
+	return h.op(th, closeReq{id: h.st.id})
 }
 
 // Start starts the stream's logical clock after the configured initial
 // delay and enables pre-fetching (crs_start).
 func (h *Handle) Start(th *rtm.Thread) error {
-	return h.srv.reqPort.Call(th, startReq{id: h.st.id}).(opResp).err
+	return h.op(th, startReq{id: h.st.id})
 }
 
 // Stop freezes the logical clock and suspends pre-fetching (crs_stop).
 func (h *Handle) Stop(th *rtm.Thread) error {
-	return h.srv.reqPort.Call(th, stopReq{id: h.st.id}).(opResp).err
+	return h.op(th, stopReq{id: h.st.id})
 }
 
 // Seek sets the logical clock to the given media time and repositions
 // pre-fetching (crs_seek). Buffered data is dropped.
 func (h *Handle) Seek(th *rtm.Thread, logical sim.Time) error {
-	return h.srv.reqPort.Call(th, seekReq{id: h.st.id, logical: logical}).(opResp).err
+	return h.op(th, seekReq{id: h.st.id, logical: logical})
 }
 
 // SetRate changes the retrieval rate, re-running admission (the extension
 // supporting the paper's 60 fps fast-forward discussion).
 func (h *Handle) SetRate(th *rtm.Thread, rate float64) error {
-	return h.srv.reqPort.Call(th, setRateReq{id: h.st.id, rate: rate}).(opResp).err
+	return h.op(th, setRateReq{id: h.st.id, rate: rate})
 }
 
 // Get returns the chunk covering the given logical time if it is resident
 // in the shared buffer (crs_get). It involves no communication with the
-// server and may be called from any engine context.
+// server and may be called from any engine context. Reading the shared
+// buffer renews the session lease: a consuming client is a live client.
 func (h *Handle) Get(logical sim.Time) (BufferedChunk, bool) {
+	h.st.touch(h.srv.k.Now())
 	return h.st.buf.Get(logical)
 }
 
-// Available reports residency without recording a hit or miss.
-func (h *Handle) Available(logical sim.Time) bool { return h.st.buf.Peek(logical) }
+// Available reports residency without recording a hit or miss. Like Get it
+// renews the session lease.
+func (h *Handle) Available(logical sim.Time) bool {
+	h.st.touch(h.srv.k.Now())
+	return h.st.buf.Peek(logical)
+}
 
 // LogicalNow returns the session's logical clock value at the current
 // virtual time.

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// A burst of opens past the per-interval budget is shed with the typed
+// overload error, whose RetryAfter is an honest hint: clients that wait it
+// out all get admitted.
+func TestOpenFloodShedsWithRetryAfter(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 10*time.Second)
+	const clients = 12
+	newBed(t, 1, ufs.Options{}, Config{MaxRequestsPerCycle: 4, BufferBudget: 64 << 20},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			admitted := 0
+			done := make(chan struct{}) // unused; engine is single-threaded
+			_ = done
+			for i := 0; i < clients; i++ {
+				b.k.NewThread(fmt.Sprintf("client%d", i), rtm.PrioTS, 0, func(cth *rtm.Thread) {
+					for {
+						h, err := b.cras.Open(cth, movie, "/m1", OpenOptions{})
+						if err == nil {
+							admitted++
+							h.Close(cth) // release the slot for the others
+							return
+						}
+						var oe *OverloadError
+						if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+							t.Errorf("open failed with %v, want *OverloadError", err)
+							return
+						}
+						if oe.RetryAfter <= 0 {
+							t.Errorf("RetryAfter = %v, want > 0", oe.RetryAfter)
+							return
+						}
+						cth.Sleep(oe.RetryAfter)
+					}
+				})
+			}
+			th.Sleep(10 * time.Second)
+			if admitted != clients {
+				t.Errorf("admitted %d of %d clients after retrying", admitted, clients)
+			}
+			st := b.cras.Stats()
+			if st.RequestsShed == 0 {
+				t.Error("no requests shed by a 12-client burst against budget 4")
+			}
+		})
+}
+
+// Closes are never shed: even in a window whose budget is exhausted by a
+// flood, every close goes through — refusing them would turn overload into
+// resource leaks.
+func TestClosesNeverShed(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 10*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{MaxRequestsPerCycle: 4, BufferBudget: 64 << 20},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			// Admit a handful of streams over a few windows.
+			var handles []*Handle
+			for i := 0; i < 6; i++ {
+				h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+				if err != nil {
+					th.Sleep(b.cras.Config().Interval)
+					continue
+				}
+				handles = append(handles, h)
+			}
+			// Exhaust the current window's budget with a burst of opens
+			// (the few that get admitted close themselves again)...
+			for i := 0; i < 10; i++ {
+				b.k.NewThread("flood", rtm.PrioTS, 0, func(cth *rtm.Thread) {
+					if h, err := b.cras.Open(cth, movie, "/m1", OpenOptions{}); err == nil {
+						h.Close(cth)
+					}
+				})
+			}
+			th.Sleep(10 * time.Millisecond)
+			// ...and close everything inside that same overloaded window.
+			for _, h := range handles {
+				if err := h.Close(th); err != nil {
+					t.Errorf("Close shed or failed under overload: %v", err)
+				}
+			}
+			th.Sleep(time.Second) // let the flood's own closes drain
+			if b.cras.ActiveStreams() != 0 {
+				t.Errorf("ActiveStreams = %d after closes", b.cras.ActiveStreams())
+			}
+		})
+}
+
+// Session operations of already-admitted streams are deferred to the next
+// window when the budget runs out — paced, not refused.
+func TestSessionOpsDeferredNotShed(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 20*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{MaxRequestsPerCycle: 4},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			h.Start(th)
+			start := b.k.Now()
+			for i := 0; i < 10; i++ {
+				if err := h.Seek(th, time.Duration(i)*time.Second); err != nil {
+					t.Errorf("seek %d refused: %v", i, err)
+				}
+			}
+			elapsed := b.k.Now() - start
+			if elapsed < b.cras.Config().Interval {
+				t.Errorf("10 seeks against budget 4 took %v; expected deferral across windows", elapsed)
+			}
+			if shed := b.cras.Stats().RequestsShed; shed != 0 {
+				t.Errorf("RequestsShed = %d; session ops must be deferred, not shed", shed)
+			}
+		})
+}
+
+// When even the bounded request queue is full, the call is rejected at the
+// port itself and surfaces as overload; the port counts the rejection.
+func TestRequestQueueFullRejectsSends(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 10*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{RequestQueueCap: 1, BufferBudget: 64 << 20},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			overloaded := 0
+			for i := 0; i < 8; i++ {
+				b.k.NewThread(fmt.Sprintf("burst%d", i), rtm.PrioTS, 0, func(cth *rtm.Thread) {
+					_, err := b.cras.Open(cth, movie, "/m1", OpenOptions{})
+					if err != nil && errors.Is(err, ErrOverloaded) {
+						overloaded++
+					}
+				})
+			}
+			th.Sleep(time.Second)
+			if b.cras.Stats().SendsRejected == 0 {
+				t.Error("SendsRejected = 0; a cap-1 queue must reject an 8-call burst")
+			}
+			if overloaded == 0 {
+				t.Error("no caller saw the queue-full overload error")
+			}
+		})
+}
+
+// Graceful drain: opens are refused, running streams finish and close
+// naturally, and the server shuts itself down with no forced evictions.
+func TestDrainGraceful(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 3*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			h.Start(th)
+			th.Sleep(time.Second)
+			b.cras.Drain(20 * time.Second)
+			if _, err := b.cras.Open(th, movie, "/m1", OpenOptions{}); !errors.Is(err, ErrDraining) {
+				t.Errorf("open during drain = %v, want ErrDraining", err)
+			}
+			// Play the stream out, then close like a well-behaved client.
+			end := movie.TotalDuration()
+			for h.LogicalNow() < end {
+				th.Sleep(250 * time.Millisecond)
+				h.Get(h.LogicalNow())
+			}
+			if err := h.Close(th); err != nil {
+				t.Errorf("Close during drain: %v", err)
+			}
+			th.Sleep(time.Second)
+			if !b.cras.Stopped() {
+				t.Error("server did not shut down after its last stream closed")
+			}
+			if ev := b.cras.Stats().DrainEvictions; ev != 0 {
+				t.Errorf("DrainEvictions = %d in a graceful run-down", ev)
+			}
+		})
+}
+
+// Drain with a deadline: whatever is still open when the grace budget
+// expires is evicted, and the server still ends down.
+func TestDrainDeadlineEvictsStragglers(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 20*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			h.Start(th)
+			th.Sleep(time.Second)
+			b.cras.Drain(2 * time.Second)
+			deadline := b.k.Now() + 2*time.Second
+			// The client keeps consuming right through the drain and never
+			// closes; the deadline must take the stream from under it.
+			for b.k.Now() < deadline+time.Second {
+				th.Sleep(250 * time.Millisecond)
+				h.Get(h.LogicalNow())
+			}
+			st := b.cras.Stats()
+			if st.DrainEvictions != 1 {
+				t.Errorf("DrainEvictions = %d, want 1", st.DrainEvictions)
+			}
+			if !b.cras.Stopped() {
+				t.Error("server not stopped after drain deadline")
+			}
+			if b.cras.ActiveStreams() != 0 {
+				t.Error("stream leaked past the drain deadline")
+			}
+		})
+}
+
+// Immediate drain (zero grace) is an orderly synchronous teardown: all
+// streams evicted on the next cycle, then shutdown.
+func TestDrainZeroGrace(t *testing.T) {
+	movie := media.MPEG1().Generate("/m1", 10*time.Second)
+	newBed(t, 1, ufs.Options{}, Config{},
+		map[string]*media.StreamInfo{"/m1": movie},
+		func(b *bed, th *rtm.Thread) {
+			var hs []*Handle
+			for i := 0; i < 3; i++ {
+				h, err := b.cras.Open(th, movie, "/m1", OpenOptions{})
+				if err != nil {
+					t.Errorf("Open %d: %v", i, err)
+					return
+				}
+				h.Start(th)
+				hs = append(hs, h)
+			}
+			b.cras.Drain(0)
+			th.Sleep(2 * b.cras.Config().Interval)
+			st := b.cras.Stats()
+			if st.DrainEvictions != 3 {
+				t.Errorf("DrainEvictions = %d, want 3", st.DrainEvictions)
+			}
+			if !b.cras.Stopped() || b.cras.ActiveStreams() != 0 {
+				t.Errorf("Stopped = %v, ActiveStreams = %d after zero-grace drain",
+					b.cras.Stopped(), b.cras.ActiveStreams())
+			}
+		})
+}
+
+var _ = sim.Time(0) // keep the import when assertions above change

@@ -314,7 +314,7 @@ func TestFaultDuringRecording(t *testing.T) {
 				return
 			}
 			h.Start(th)
-			th.Sleep(b.cras.Config().InitialDelay + plan.TotalDuration() + 2*time.Second)
+			sleepRenewing(th, b.cras.Config().InitialDelay+plan.TotalDuration()+2*time.Second, h)
 			st := h.StreamStats()
 			if st.ReadRetries != 1 {
 				t.Errorf("retries = %d, want 1", st.ReadRetries)

@@ -289,7 +289,7 @@ func TestCacheEvictionUnderAdmissionPressure(t *testing.T) {
 				return
 			}
 			lead.Start(th)
-			th.Sleep(4 * time.Second)
+			sleepRenewing(th, 4*time.Second, lead)
 			fol, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
 			if err != nil {
 				t.Errorf("open follower: %v", err)
@@ -299,7 +299,8 @@ func TestCacheEvictionUnderAdmissionPressure(t *testing.T) {
 				t.Error("follower not cache-backed")
 			}
 			fol.Start(th)
-			th.Sleep(6 * time.Second) // let pins accumulate across the 4 s gap
+			// Let pins accumulate across the 4 s gap, renewing both leases.
+			sleepRenewing(th, 6*time.Second, lead, fol)
 
 			// A distinct movie now needs the RAM back.
 			h, err := b.cras.Open(th, solo, "/solo", OpenOptions{})

@@ -55,6 +55,24 @@ type Config struct {
 	// I/O watchdog, degradation ladder); zero values select defaults.
 	Recovery RecoveryPolicy
 
+	// LeaseTTL is the session lease: a session no client call has touched
+	// (Get, Renew, or any control RPC) for this long is presumed abandoned
+	// and reaped through the eviction path, reclaiming its admission
+	// capacity, buffer memory and cache pins. Default 8*Interval; negative
+	// disables leasing.
+	LeaseTTL sim.Time
+
+	// MaxRequestsPerCycle caps how many control RPCs the request manager
+	// drains per interval before shedding the excess with ErrOverloaded.
+	// Closes and lease renewals are never shed. Default 32; negative
+	// disables shedding.
+	MaxRequestsPerCycle int
+
+	// RequestQueueCap bounds the request port's queue; calls beyond it are
+	// rejected outright instead of growing the queue without limit.
+	// Default 64.
+	RequestQueueCap int
+
 	Params AdmissionParams
 }
 
@@ -88,6 +106,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SignalPrio == 0 {
 		c.SignalPrio = rtm.PrioRTLow
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 8 * c.Interval
+	}
+	if c.MaxRequestsPerCycle == 0 {
+		c.MaxRequestsPerCycle = 32
+	}
+	if c.RequestQueueCap == 0 {
+		c.RequestQueueCap = 64
 	}
 	c.Recovery.fillDefaults(c.Interval)
 }
@@ -154,6 +181,13 @@ type Stats struct {
 	CacheBytesServed int64
 	CachePinnedPeak  int64
 
+	// Control-plane hardening (control.go, lease.go).
+	SendsRejected  int64 // calls the bounded request port turned away at capacity
+	LeasesExpired  int   // sessions the lease scan found expired
+	SessionsReaped int   // expired or dead-client sessions evicted
+	RequestsShed   int   // control RPCs refused by the overload gate
+	DrainEvictions int   // streams still open at the drain deadline
+
 	Accuracy []AccuracyRecord
 }
 
@@ -174,7 +208,7 @@ type Server struct {
 	resolver Resolver
 	mgr      *rtm.Thread
 
-	reqPort      *rtm.Port
+	reqPort      *rtm.BoundedPort
 	iodonePort   *rtm.Port
 	deadlinePort *rtm.Port
 	signalPort   *rtm.Port
@@ -193,6 +227,14 @@ type Server struct {
 	overrunRun       int
 	lastOverrunCycle int
 
+	// Control-plane overload window (control.go), touched only by the
+	// request manager thread.
+	ctlWindow sim.Time
+	ctlOps    int
+	ctlShed   int
+
+	draining bool
+	drainAt  sim.Time
 	stopping bool
 	stats    Stats
 
@@ -227,19 +269,24 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 	s := &Server{
 		k: k, d: d, cfg: cfg, resolver: resolver,
 		icache:       intervalCache{budget: cfg.CacheBudget},
-		reqPort:      k.NewPort("cras.request"),
+		reqPort:      k.NewBoundedPort("cras.request", cfg.RequestQueueCap),
 		iodonePort:   k.NewPort("cras.iodone"),
 		deadlinePort: k.NewPort("cras.deadline"),
 		signalPort:   k.NewPort("cras.signal"),
 	}
 
 	// Request manager thread: accepts open/close/start/stop/seek and
-	// resolves block maps at open time (the non-real-time path).
+	// resolves block maps at open time (the non-real-time path). The shed
+	// gate in dispatchRequest bounds how much of an interval this thread
+	// spends on real request work; the signal handler destroys the port, so
+	// ok turning false is the shutdown signal.
 	s.mgr = k.NewThread("cras.reqmgr", cfg.ManagerPrio, cfg.Quantum, func(t *rtm.Thread) {
 		for !s.stopping {
-			req, reply := s.reqPort.ReceiveCall(t)
-			t.Compute(costManagerOp)
-			reply(s.handleRequest(t, req))
+			req, reply, ok := s.reqPort.ReceiveCall(t)
+			if !ok {
+				return
+			}
+			reply(s.dispatchRequest(t, req))
 		}
 	})
 
@@ -291,6 +338,10 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 				s.notifyMiss("io-stall", m.Cycle, m.Age)
 			case StreamHealthEvent:
 				s.noteHealth(m)
+			case LeaseExpired:
+				s.reapLease(m)
+			case rtm.DeadName:
+				s.reapDeadName(m)
 			}
 		}
 	})
@@ -302,7 +353,11 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 		for _, st := range s.streams {
 			st.closed = true
 		}
-		// Wake the blocking loops so they observe the flag.
+		// Destroying the request port wakes the request manager (and any
+		// client blocked in an RPC, queued or future) with a port-dead
+		// error that the client side translates to ErrServerDown.
+		s.reqPort.Destroy()
+		// Wake the remaining blocking loops so they observe the flag.
 		s.deadlinePort.Send(IOOverrun{})
 		s.iodonePort.Send(nil)
 	})
@@ -343,6 +398,7 @@ func (s *Server) Config() Config { return s.cfg }
 // Stats returns a copy of the server statistics.
 func (s *Server) Stats() Stats {
 	out := s.stats
+	out.SendsRejected = s.reqPort.Rejected()
 	out.Accuracy = append([]AccuracyRecord(nil), s.stats.Accuracy...)
 	return out
 }
@@ -380,6 +436,9 @@ func (s *Server) ActiveStreams() int {
 // Shutdown signals the server to stop (usable from any engine context).
 func (s *Server) Shutdown() { s.signalPort.Send("shutdown") }
 
+// Stopped reports whether the signal handler has run.
+func (s *Server) Stopped() bool { return s.stopping }
+
 // scheduleCycle is one run of the request scheduler thread: stamp the data
 // retrieved during the previous interval into the shared buffers, discard
 // obsolete data, then issue the next interval's reads in cylinder order.
@@ -390,6 +449,12 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	now := s.k.Now()
 	s.cycle = cycle
 	s.stats.Cycles++
+
+	// Drain check: once every stream has run down — or the drain deadline
+	// has evicted the stragglers — hand over to the abrupt shutdown path.
+	if s.draining && s.drainStep(now) {
+		return false
+	}
 
 	// Phase 0: the I/O watchdog. A request whose completion interrupt is
 	// overdue is canceled; the abort completes through the normal I/O-done
@@ -456,8 +521,10 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	}
 	s.stats.ChunksStamped += stamped
 
-	// Advance the degradation ladder from the failures just absorbed.
+	// Advance the degradation ladder from the failures just absorbed, then
+	// flag sessions whose client stopped touching them for the reaper.
 	s.updateStreamHealth(now)
+	s.scanLeases(now)
 
 	// Phase 2: collect the reads for the next interval. Suspended streams
 	// stopped their clock and fetch nothing; eviction released the rest.
@@ -602,6 +669,7 @@ type (
 		id   int
 		rate float64
 	}
+	renewReq struct{ id int }
 
 	openResp struct {
 		st  *stream
@@ -617,6 +685,16 @@ func (s *Server) findStream(id int) *stream {
 		}
 	}
 	return nil
+}
+
+// session finds an open stream for a control RPC and renews its lease: any
+// client call is proof of life.
+func (s *Server) session(id int, now sim.Time) *stream {
+	st := s.findStream(id)
+	if st != nil {
+		st.touch(now)
+	}
+	return st
 }
 
 // admissionSet returns the StreamParams of all open streams plus extras.
@@ -636,30 +714,40 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 	case openReq:
 		return s.handleOpen(t, r)
 	case closeReq:
-		st := s.findStream(r.id)
+		st := s.session(r.id, now)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
 		st.closed = true
 		st.gen++
 		s.cacheOnClose(st, now)
+		if st.clientPort != nil {
+			// An orderly close needs no dead-name notification.
+			st.clientPort.NotifyDeadName(nil)
+			st.clientPort.Destroy()
+		}
+		return opResp{}
+	case renewReq:
+		if s.session(r.id, now) == nil {
+			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
+		}
 		return opResp{}
 	case startReq:
-		st := s.findStream(r.id)
+		st := s.session(r.id, now)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
 		st.clock.Start(now, now+s.cfg.InitialDelay)
 		return opResp{}
 	case stopReq:
-		st := s.findStream(r.id)
+		st := s.session(r.id, now)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
 		st.clock.Stop(now)
 		return opResp{}
 	case seekReq:
-		st := s.findStream(r.id)
+		st := s.session(r.id, now)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
@@ -674,7 +762,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		st.seekTo(r.logical)
 		return opResp{}
 	case setRateReq:
-		st := s.findStream(r.id)
+		st := s.session(r.id, now)
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
@@ -720,6 +808,9 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 }
 
 func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
+	if s.draining {
+		return openResp{err: ErrDraining}
+	}
 	if r.rate == 0 {
 		r.rate = 1
 	}
@@ -824,6 +915,12 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	if leader != nil {
 		s.cacheAttach(st, leader, reservation, now)
 	}
+	// The session lease starts now; the per-session client port is the
+	// dead-name fast path that reaps the session the moment the client's
+	// ports are reclaimed, without waiting out the TTL.
+	st.leaseAt = now
+	st.clientPort = s.k.NewPort(fmt.Sprintf("cras.client.%d", s.nextID))
+	st.clientPort.NotifyDeadName(s.deadlinePort)
 	s.nextID++
 	s.streams = append(s.streams, st)
 	return openResp{st: st}

@@ -87,6 +87,24 @@ func sortedMovies(m map[string]*media.StreamInfo) []namedMovie {
 	return out
 }
 
+// sleepRenewing sleeps for d in one-second slices, renewing the session
+// lease each slice — the way a real client that is legitimately quiet (a
+// recorder riding the capture clock, a paused viewer) keeps its session
+// from being reaped.
+func sleepRenewing(th *rtm.Thread, d time.Duration, hs ...*Handle) {
+	for d > 0 {
+		slice := time.Second
+		if d < slice {
+			slice = d
+		}
+		th.Sleep(slice)
+		d -= slice
+		for _, h := range hs {
+			h.Renew(th)
+		}
+	}
+}
+
 // playAndMeasure consumes the stream frame by frame at its natural rate,
 // polling the shared buffer, and returns per-frame delays (obtained time
 // minus due time) and the count of frames that never arrived.
@@ -345,7 +363,7 @@ func TestSetRateDoubleSpeed(t *testing.T) {
 				return
 			}
 			h.Start(th)
-			th.Sleep(b.cras.Config().InitialDelay + 5*time.Second)
+			sleepRenewing(th, b.cras.Config().InitialDelay+5*time.Second, h)
 			logical := h.LogicalNow()
 			if logical < 9*time.Second || logical > 11*time.Second {
 				t.Errorf("2x clock after 5s = %v, want ~10s", logical)
@@ -428,7 +446,7 @@ func TestRecordSessionWritesConstantRate(t *testing.T) {
 				return
 			}
 			h.Start(th)
-			th.Sleep(b.cras.Config().InitialDelay + plan.TotalDuration() + 2*time.Second)
+			sleepRenewing(th, b.cras.Config().InitialDelay+plan.TotalDuration()+2*time.Second, h)
 			st := h.StreamStats()
 			if st.BytesScheduled < plan.TotalSize() {
 				t.Errorf("recorded %d of %d bytes", st.BytesScheduled, plan.TotalSize())

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/disk"
 	"repro/internal/media"
+	"repro/internal/rtm"
 	"repro/internal/sim"
 	"repro/internal/ufs"
 )
@@ -90,8 +91,27 @@ type stream struct {
 	cleanCycles  int      // consecutive clean cycles while Degraded
 	suspendedAt  sim.Time // when the stream entered Suspended
 
+	// Session-lease state (see lease.go): leaseAt is the last time any
+	// client call touched the session; rpcInFlight counts the client's
+	// control RPCs currently queued or executing, because a client blocked
+	// in a synchronous call is alive no matter how long the queue is;
+	// clientPort is the per-session port whose destruction announces that
+	// the client died.
+	leaseAt     sim.Time
+	rpcInFlight int
+	clientPort  *rtm.Port
+
 	stats  StreamStats
 	closed bool
+}
+
+// touch renews the session lease: any client call is proof of life. The
+// engine is single-threaded, so the plain write is race-free even from
+// Get, which runs on the client's thread.
+func (s *stream) touch(now sim.Time) {
+	if now > s.leaseAt {
+		s.leaseAt = now
+	}
 }
 
 // readTag links a raw disk read back to the stream bytes it covers.

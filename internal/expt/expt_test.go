@@ -318,3 +318,27 @@ func TestRecordShape(t *testing.T) {
 		t.Error("empty table")
 	}
 }
+
+func TestOverloadSweepShape(t *testing.T) {
+	res := RunOverloadSweep(OverloadSweepConfig{Seed: 1, Duration: 8 * time.Second, Rates: []float64{4, 64}})
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	calm, storm := res.Points[0], res.Points[1]
+	if storm.ShedRate() <= calm.ShedRate() {
+		t.Errorf("shed rate did not rise with arrival rate: %.2f -> %.2f",
+			calm.ShedRate(), storm.ShedRate())
+	}
+	if storm.RequestsShed == 0 {
+		t.Error("no requests shed at 64 opens/s against budget 8")
+	}
+	// The whole point: the admitted viewers never pay for the flood.
+	for _, pt := range res.Points {
+		if pt.ViewerLost != 0 {
+			t.Errorf("viewers lost %d frames at %v opens/s", pt.ViewerLost, pt.Rate)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Error("empty table")
+	}
+}

@@ -106,7 +106,13 @@ func RunVBR(seed int64, duration sim.Time) *VBRResult {
 			}
 			capacity = h.BufferStats().Capacity()
 			h.Start(th)
-			th.SleepUntil(m.Kernel.Now() + duration + 4*time.Second)
+			// Stay resident for the whole run, renewing the lease: this
+			// client watches the buffer high-water mark rather than
+			// consuming, and must not read as dead to the reaper.
+			for end := m.Kernel.Now() + duration + 4*time.Second; m.Kernel.Now() < end; {
+				th.Sleep(time.Second)
+				h.Renew(th)
+			}
 			peak = h.BufferStats().PeakBytes
 		})
 		frames := int(duration / (sim.Time(time.Second) / 30))
@@ -222,6 +228,14 @@ func RunRecord(seed int64, sessions int, duration sim.Time) *RecordResult {
 						return
 					}
 					h.Start(th)
+					// A recorder rides the capture clock and never reads the
+					// buffer; renew the lease until the capture is done, then
+					// close like a well-behaved client.
+					for end := m.Kernel.Now() + duration + 4*time.Second; m.Kernel.Now() < end; {
+						th.Sleep(time.Second)
+						h.Renew(th)
+					}
+					h.Close(th)
 				})
 			}
 		})
