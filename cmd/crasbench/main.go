@@ -8,7 +8,7 @@
 //	crasbench -all                # everything (several minutes of CPU)
 //	crasbench -fig 6              # one figure (6, 7, 8, 9, 10, 12)
 //	crasbench -table 4            # Table 4
-//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache | overload
+//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache | overload | stripe
 //	crasbench -fig 6 -quick       # smaller sweeps for a fast look
 //	crasbench -fig 6 -delay 3s    # the Section 3.1 longer-initial-delay run
 package main
@@ -26,7 +26,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9, 10, 12)")
 		table    = flag.Int("table", 0, "table to regenerate (4)")
-		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache | overload")
+		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache | overload | stripe")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "smaller sweeps and shorter runs")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -117,6 +117,14 @@ func main() {
 			cfg.Rates = []float64{4, 64}
 		}
 		fmt.Println(expt.RunOverloadSweep(cfg).Table())
+		ran = true
+	}
+	if *all || *extra == "stripe" {
+		cfg := expt.StripeSweepConfig{Seed: *seed, Duration: *duration}
+		if *quick && *duration == 0 {
+			cfg.Duration = 8 * time.Second
+		}
+		fmt.Println(expt.RunStripeSweep(cfg).Table())
 		ran = true
 	}
 	if !ran {

@@ -60,6 +60,10 @@ type (
 	DiskGeometry = disk.Geometry
 	DiskParams   = disk.Params
 	DiskRequest  = disk.Request
+	// Volume stripes a logical LBA space over several member disks
+	// (RAID-0); StripeFrag is one member's share of a logical range.
+	Volume     = disk.Volume
+	StripeFrag = disk.Frag
 )
 
 var (
@@ -71,6 +75,10 @@ var (
 	MediaRate = disk.MediaRate
 	// LoadDiskImage reconstructs a disk from an image written by SaveImage.
 	LoadDiskImage = disk.LoadImage
+	// NewVolume stripes member disks into one logical device; SingleVolume
+	// wraps one disk as the identity volume.
+	NewVolume    = disk.NewVolume
+	SingleVolume = disk.SingleVolume
 )
 
 // ---- Unix file system ----
@@ -150,10 +158,15 @@ type (
 )
 
 var (
-	// NewServer starts CRAS on a kernel.
-	NewServer = core.NewServer
+	// NewServer starts CRAS on a kernel; NewVolumeServer starts it on a
+	// striped multi-disk volume.
+	NewServer       = core.NewServer
+	NewVolumeServer = core.NewVolumeServer
 	// MeasureAdmissionParams calibrates the admission test from a disk.
 	MeasureAdmissionParams = core.MeasureAdmissionParams
+	// StripedParams converts a stream's admission parameters to their
+	// per-member form for a striped volume (AdmissionParams.AdmitVolume).
+	StripedParams = core.StripedParams
 	// NewTDBuffer creates a standalone time-driven shared memory buffer.
 	NewTDBuffer = core.NewTDBuffer
 	// NewLogicalClock returns a stopped logical clock at zero.

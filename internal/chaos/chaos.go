@@ -42,6 +42,15 @@ type Scenario struct {
 	// on, so file-system setup traffic stays clean.
 	Faults disk.FaultConfig
 
+	// Disks builds the machine on a striped volume with this many member
+	// disks (0 or 1 = the single-disk machine). The fault model — and the
+	// victim's bad region, projected through the stripe mapping — then
+	// afflicts only member FaultDisk, and the invariants additionally
+	// demand the healthy members' queues keep moving.
+	Disks         int
+	StripeSectors int64
+	FaultDisk     int
+
 	// Victim poisons stream 0's disk layout from its second extent to the
 	// end of the file — a persistent bad-block region that must walk that
 	// stream down the degradation ladder while its peers play untouched.
@@ -215,9 +224,11 @@ func Run(sc Scenario) *Result {
 		cfg.RequestQueueCap = sc.FloodQueueCap
 	}
 	m := lab.Build(lab.Setup{
-		Seed:   sc.Seed,
-		CRAS:   cfg,
-		Movies: movies,
+		Seed:          sc.Seed,
+		Disks:         sc.Disks,
+		StripeSectors: sc.StripeSectors,
+		CRAS:          cfg,
+		Movies:        movies,
 	}, func(m *lab.Machine) {
 		serverStart = m.Eng.Now()
 		m.CRAS.OnStreamHealth = func(ev core.StreamHealthEvent) {
@@ -258,12 +269,23 @@ func Run(sc Scenario) *Result {
 					// die over the region while followers survive past it.
 					last = ext[3]
 				}
-				fcfg.BadRegions = append(fcfg.BadRegions, disk.BadRegion{
+				region := disk.BadRegion{
 					LBA: from.LBA, Sectors: last.LBA + int64(last.Sectors) - from.LBA,
-				})
+				}
+				// On a striped volume the region is the victim's share of the
+				// fault disk: project the logical range through the stripe
+				// mapping (a contiguous range lands as one contiguous run per
+				// member). Peers' files project to disjoint member runs, so
+				// the poison is exclusive to the victim by construction.
+				for _, f := range m.Vol.Fragments(region.LBA, int(region.Sectors)) {
+					if f.Disk == sc.FaultDisk {
+						region = disk.BadRegion{LBA: f.LBA, Sectors: int64(f.Count)}
+					}
+				}
+				fcfg.BadRegions = append(fcfg.BadRegions, region)
 			}
 			model = disk.NewFaultModel(m.Eng.RNG("chaos:faults"), fcfg)
-			m.Disk.SetFaultModel(model)
+			m.Vol.Disk(sc.FaultDisk).SetFaultModel(model)
 			spawn(0)
 			for i := 1; i < len(players); i++ {
 				if sc.Share && sc.StaggerOpen > 0 {
@@ -315,7 +337,7 @@ func Run(sc Scenario) *Result {
 
 	res.Elapsed = m.Eng.Now() - serverStart
 	res.Server = m.CRAS.Stats()
-	res.Disk = m.Disk.Stats()
+	res.Disk = m.Vol.Stats()
 	if model != nil {
 		res.Faults = model.Stats()
 	}
@@ -443,11 +465,28 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 
 	// No request may be left stalled: the cool-down gave the watchdog more
 	// than its timeout to clear any late injection.
-	if m.Disk.Stalled() {
+	if m.Vol.Stalled() {
 		r.violate("disk left wedged on a stalled request")
 	}
 	if r.Faults.Stalls > 0 && r.Server.WatchdogCancels == 0 {
 		r.violate("%d stalls injected but the watchdog never fired", r.Faults.Stalls)
+	}
+
+	// Striped-volume containment: whatever happened on the fault member,
+	// every healthy member's real-time queue must have kept moving — one
+	// sick spindle may not wedge the others.
+	if r.Scenario.Disks > 1 {
+		for i := 0; i < m.Vol.NumDisks(); i++ {
+			ds := m.Vol.Disk(i).Stats()
+			if ds.Served[0]+ds.Served[1] == 0 {
+				r.violate("member disk %d served no requests on a %d-disk volume",
+					i, m.Vol.NumDisks())
+			}
+			if i != r.Scenario.FaultDisk && m.Vol.Disk(i).Stalled() {
+				r.violate("healthy member disk %d wedged by faults on member %d",
+					i, r.Scenario.FaultDisk)
+			}
+		}
 	}
 
 	if r.Scenario.Victim {
@@ -683,6 +722,24 @@ func Campaign(base int64) []Scenario {
 				StallProb: 0.1, MaxStalls: 2,
 			},
 			DrainAfter: 3 * time.Second, DrainGrace: 2 * time.Second,
+		},
+	)
+	// Striped-volume drills: a persistent bad region confined to one member
+	// of four must walk only the victim down the ladder while its peer — and
+	// the other three spindles — stay clean; and a stall on one member must
+	// trip the watchdog without wedging the healthy members' queues. Both at
+	// two streams so Quick keeps them.
+	out = append(out,
+		Scenario{
+			Name: "stripe-victim-1of4/s2", Seed: base*1000 + 107,
+			Streams: 2, Victim: true,
+			Disks: 4, FaultDisk: 1,
+		},
+		Scenario{
+			Name: "stripe-stall-1of4/s2", Seed: base*1000 + 108,
+			Streams: 2,
+			Disks:   4, FaultDisk: 2,
+			Faults: disk.FaultConfig{StallProb: 1, MaxStalls: 2},
 		},
 	)
 	return out

@@ -32,12 +32,21 @@ type AdmissionParams struct {
 // double-buffer B_i. This asymmetry is the capacity win of interval
 // caching: a trailing viewer of an already-playing movie costs RAM
 // proportional to how far it trails, and no disk time at all.
+// On a striped volume the per-interval fetch A_i = T*R_i + C_i splits
+// across member disks, and the admission test runs per member (see
+// AdmitVolume): the stream charges each member disk in Disks one operation
+// and DiskBytes of transfer per interval. Both fields zero means the
+// single-disk reading — the stream puts its whole A_i on every disk it
+// touches (which on one disk is the paper's formula (1) exactly).
 type StreamParams struct {
 	Rate  float64 // bytes/second
 	Chunk int64   // bytes
 
 	Cached     bool  // served from the interval cache, not the disk
 	CacheBytes int64 // pinned-interval charge while Cached
+
+	Disks     []int // member disks the stream loads (nil = all members)
+	DiskBytes int64 // per-member bytes per interval when striped (0 = full A_i)
 }
 
 // MeasureAdmissionParams derives Table 4 from the disk, the way the authors
@@ -190,6 +199,102 @@ func (a AdmissionParams) Admit(t sim.Time, budget int64, streams []StreamParams)
 	}
 	if buf > budget {
 		return &AdmissionError{NeedInterval: need, Interval: t, NeedBuffer: buf, Budget: budget,
+			Reason: "buffer memory exhausted"}
+	}
+	return nil
+}
+
+// perDiskLoad bounds one member disk's share of an interval fetch of a
+// bytes striped round-robin in stripeBytes units across n disks. The fetch
+// window is not stripe-aligned, so it can touch one extra unit
+// (ceil(a/stripe)+1), and the units spread across members as evenly as the
+// rotation allows — the worst member serves ceil(units/n) of them.
+func perDiskLoad(a, stripeBytes int64, n int) int64 {
+	if n <= 1 || stripeBytes <= 0 {
+		return a
+	}
+	units := (a+stripeBytes-1)/stripeBytes + 1
+	perDisk := (units + int64(n) - 1) / int64(n)
+	return perDisk * stripeBytes
+}
+
+// StripedParams converts a stream's admission parameters to their striped
+// form for a volume of ndisks members with the given stripe unit: the
+// stream touches every member (its fetch window rotates over all of them
+// across its lifetime) and charges each the worst per-member share of its
+// interval fetch. On a single disk it is the identity.
+func StripedParams(t sim.Time, par StreamParams, ndisks int, stripeBytes int64) StreamParams {
+	if ndisks <= 1 {
+		return par
+	}
+	a := int64(t.Seconds()*par.Rate) + par.Chunk
+	par.Disks = nil // all members
+	par.DiskBytes = perDiskLoad(a, stripeBytes, ndisks)
+	return par
+}
+
+// touchesDisk reports whether the stream loads member d of an n-member
+// volume.
+func (s StreamParams) touchesDisk(d int) bool {
+	if s.Disks == nil {
+		return true
+	}
+	for _, sd := range s.Disks {
+		if sd == d {
+			return true
+		}
+	}
+	return false
+}
+
+// diskLoad is the per-interval byte load the stream puts on one member it
+// touches.
+func (s StreamParams) diskLoad(t sim.Time) int64 {
+	if s.DiskBytes > 0 {
+		return s.DiskBytes
+	}
+	return int64(t.Seconds()*s.Rate) + s.Chunk
+}
+
+// AdmitVolume runs the admission test over an ndisks-member striped
+// volume: formulas (1)-(2) are evaluated per member disk against the
+// operations and bytes assigned to that member, and the set is admitted
+// iff every member has capacity (the interval batch barriers on the
+// slowest member) and the aggregate buffer fits. With one member it is
+// exactly Admit — the single-disk test, byte for byte.
+func (a AdmissionParams) AdmitVolume(t sim.Time, budget int64, ndisks int, streams []StreamParams) error {
+	if ndisks <= 0 {
+		return &AdmissionError{Interval: t, Budget: budget,
+			Reason: fmt.Sprintf("volume has %d disks", ndisks)}
+	}
+	if ndisks == 1 {
+		return a.Admit(t, budget, streams)
+	}
+	for d := 0; d < ndisks; d++ {
+		// Each member sees, per interval, one operation per stream that
+		// touches it, moving that stream's per-member byte share: a
+		// fixed-bytes load, expressed as Chunk with zero rate so
+		// RequiredInterval solves formula (1) for this member.
+		var sub []StreamParams
+		for _, s := range streams {
+			if s.Cached || !s.touchesDisk(d) {
+				continue
+			}
+			sub = append(sub, StreamParams{Chunk: s.diskLoad(t)})
+		}
+		need, err := a.RequiredInterval(sub)
+		if err != nil {
+			return &AdmissionError{Interval: t, NeedBuffer: TotalBuffer(t, streams), Budget: budget,
+				Reason: fmt.Sprintf("disk %d: %v", d, err)}
+		}
+		if need > t {
+			return &AdmissionError{NeedInterval: need, Interval: t,
+				NeedBuffer: TotalBuffer(t, streams), Budget: budget,
+				Reason: fmt.Sprintf("interval time too short for stream set (disk %d)", d)}
+		}
+	}
+	if buf := TotalBuffer(t, streams); buf > budget {
+		return &AdmissionError{Interval: t, NeedBuffer: buf, Budget: budget,
 			Reason: "buffer memory exhausted"}
 	}
 	return nil

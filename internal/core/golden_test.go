@@ -69,9 +69,50 @@ func goldenPlay(b *bed, th *rtm.Thread, h *Handle, frames int) (uint64, int) {
 	return sum.Sum64(), lost
 }
 
-// runGoldenScenario plays a fixed three-stream workload — two viewers of
-// one movie a second apart plus one solo viewer of another — under the
-// given cache budget, all other knobs and the seed held constant.
+// goldenWorkload opens the fixed three-stream workload — two viewers of one
+// movie a second apart plus one solo viewer of another — plays 200 frames
+// of each, and records the delivered digests and server counters into res.
+func goldenWorkload(t *testing.T, b *bed, th *rtm.Thread,
+	shared, solo *media.StreamInfo, res *goldenResult) {
+	lead, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
+	if err != nil {
+		t.Errorf("open leader: %v", err)
+		return
+	}
+	lead.Start(th)
+	th.Sleep(1 * time.Second)
+	fol, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
+	if err != nil {
+		t.Errorf("open follower: %v", err)
+		return
+	}
+	one, err := b.cras.Open(th, solo, "/solo", OpenOptions{})
+	if err != nil {
+		t.Errorf("open solo: %v", err)
+		return
+	}
+	fol.Start(th)
+	one.Start(th)
+
+	done := [2]bool{}
+	b.k.NewThread("fol-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+		res.digests[1], res.lost[1] = goldenPlay(b, th2, fol, 200)
+		done[0] = true
+	})
+	b.k.NewThread("solo-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+		res.digests[2], res.lost[2] = goldenPlay(b, th2, one, 200)
+		done[1] = true
+	})
+	res.digests[0], res.lost[0] = goldenPlay(b, th, lead, 200)
+	for !done[0] || !done[1] {
+		th.Sleep(100 * time.Millisecond)
+	}
+	res.stats = b.cras.Stats()
+	res.folFrom = fol.StreamStats().ChunksFromCache
+}
+
+// runGoldenScenario plays the golden workload under the given cache budget,
+// all other knobs and the seed held constant.
 func runGoldenScenario(t *testing.T, cacheBudget int64) goldenResult {
 	t.Helper()
 	shared := media.MPEG1().Generate("/shared", 10*time.Second)
@@ -80,41 +121,7 @@ func runGoldenScenario(t *testing.T, cacheBudget int64) goldenResult {
 	newBed(t, 7, ufs.Options{}, Config{CacheBudget: cacheBudget},
 		map[string]*media.StreamInfo{"/shared": shared, "/solo": solo},
 		func(b *bed, th *rtm.Thread) {
-			lead, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
-			if err != nil {
-				t.Errorf("open leader: %v", err)
-				return
-			}
-			lead.Start(th)
-			th.Sleep(1 * time.Second)
-			fol, err := b.cras.Open(th, shared, "/shared", OpenOptions{})
-			if err != nil {
-				t.Errorf("open follower: %v", err)
-				return
-			}
-			one, err := b.cras.Open(th, solo, "/solo", OpenOptions{})
-			if err != nil {
-				t.Errorf("open solo: %v", err)
-				return
-			}
-			fol.Start(th)
-			one.Start(th)
-
-			done := [2]bool{}
-			b.k.NewThread("fol-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
-				res.digests[1], res.lost[1] = goldenPlay(b, th2, fol, 200)
-				done[0] = true
-			})
-			b.k.NewThread("solo-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
-				res.digests[2], res.lost[2] = goldenPlay(b, th2, one, 200)
-				done[1] = true
-			})
-			res.digests[0], res.lost[0] = goldenPlay(b, th, lead, 200)
-			for !done[0] || !done[1] {
-				th.Sleep(100 * time.Millisecond)
-			}
-			res.stats = b.cras.Stats()
-			res.folFrom = fol.StreamStats().ChunksFromCache
+			goldenWorkload(t, b, th, shared, solo, &res)
 		})
 	return res
 }

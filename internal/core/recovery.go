@@ -126,68 +126,98 @@ type IOStall struct {
 	Age   sim.Time
 }
 
-// retrySpare is the admission model's spare interval time: T minus the
-// calculated worst-case I/O time of the open set's steady-state batch
-// (formula (10) over N streams reading A_i = T*R_i + C_i each). Retries may
-// consume only this slack, so recovery can never take time the admission
-// test promised to healthy streams. An oversubscribed (force-opened) server
-// has no slack and gets no retries.
-func (s *Server) retrySpare() sim.Time {
-	n := 0
-	var bytes int64
+// retrySpares is the admission model's spare interval time, per member
+// disk: T minus the calculated worst-case I/O time of the open set's
+// steady-state batch on that member (formula (10) over N streams, each
+// reading its per-member share of A_i = T*R_i + C_i). Retries may consume
+// only this slack, so recovery can never take time the admission test
+// promised to healthy streams — and a retry on one member can never take
+// time promised to streams on another. An oversubscribed (force-opened)
+// server has no slack and gets no retries.
+func (s *Server) retrySpares() []sim.Time {
+	n := s.vol.NumDisks()
+	ops := make([]int, n)
+	bytes := make([]int64, n)
 	for _, st := range s.streams {
 		if st.closed || st.par.Cached {
 			continue // cache-backed followers issue no steady-state reads
 		}
-		n++
-		bytes += int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
+		a := int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
+		if n > 1 {
+			// A striped stream's interval fetch rotates over every member;
+			// each carries the per-member share the admission test charged.
+			a = perDiskLoad(a, s.vol.StripeBytes(), n)
+		}
+		for d := 0; d < n; d++ {
+			ops[d]++
+			bytes[d] += a
+		}
 	}
-	if n == 0 {
-		return s.cfg.Interval
+	spares := make([]sim.Time, n)
+	for d := 0; d < n; d++ {
+		if ops[d] == 0 {
+			spares[d] = s.cfg.Interval
+			continue
+		}
+		used := s.cfg.Params.CalculatedIOTime(ops[d], bytes[d])
+		if used < s.cfg.Interval {
+			spares[d] = s.cfg.Interval - used
+		}
 	}
-	used := s.cfg.Params.CalculatedIOTime(n, bytes)
-	if used >= s.cfg.Interval {
-		return 0
-	}
-	return s.cfg.Interval - used
+	return spares
 }
 
-// retryAllowed decides whether a failed read is re-issued, charging its
-// worst-case cost against the cycle's remaining retry budget.
-func (s *Server) retryAllowed(tag *readTag, budget *sim.Time) bool {
-	if tag.s.health != Healthy {
+// retrySpare is the scalar spare time the control-plane budget draws on:
+// the tightest member's (on one disk, exactly the single-disk spare).
+func (s *Server) retrySpare() sim.Time {
+	spares := s.retrySpares()
+	min := spares[0]
+	for _, sp := range spares[1:] {
+		if sp < min {
+			min = sp
+		}
+	}
+	return min
+}
+
+// retryAllowed decides whether a failed fragment is re-issued, charging its
+// worst-case cost against its member disk's remaining retry budget.
+func (s *Server) retryAllowed(fg *readFrag, budgets []sim.Time) bool {
+	if fg.tag.s.health != Healthy {
 		return false // degraded and worse drop failed chunks immediately
 	}
-	if tag.retries >= s.cfg.Recovery.MaxRetries {
+	if fg.retries >= s.cfg.Recovery.MaxRetries {
 		return false
 	}
-	cost := s.cfg.Params.OpCost(tag.hi - tag.lo)
-	if cost > *budget {
+	cost := s.cfg.Params.OpCost(fg.bytes())
+	if cost > budgets[fg.disk] {
 		s.stats.RetriesDenied++
 		return false
 	}
-	*budget -= cost
+	budgets[fg.disk] -= cost
 	return true
 }
 
-// watchdogScan cancels in-flight requests whose completion is overdue. A
+// watchdogScan cancels in-flight fragments whose completion is overdue. A
 // canceled request completes with disk.ErrAborted and flows through the
 // normal I/O-done path, so the scheduler's bookkeeping (cycle accounting,
 // retry policy, health ladder) sees it like any other failure — the cycle
-// never wedges waiting for an interrupt that will not come.
+// never wedges waiting for an interrupt that will not come. Each fragment
+// is canceled on its own member disk, so one stalled spindle cannot wedge
+// the others' queues.
 func (s *Server) watchdogScan(now sim.Time, cycle int) {
-	for _, tag := range s.inflight {
-		age := now - tag.issuedAt
+	for _, fg := range s.inflight {
+		age := now - fg.issuedAt
 		if age < s.cfg.Recovery.WatchdogTimeout {
 			continue
 		}
-		if tag.req == nil || !s.d.Cancel(tag.req) {
-			// Not the stalled in-service request: it is queued behind one,
-			// and canceling the head is what unblocks it.
+		if fg.req == nil || !s.vol.Disk(fg.disk).Cancel(fg.req) {
+			// Not that member's stalled in-service request: it is queued
+			// behind one, and canceling the head is what unblocks it.
 			continue
 		}
 		s.stats.WatchdogCancels++
-		tag.s.stats.WatchdogCancels++
+		fg.tag.s.stats.WatchdogCancels++
 		s.deadlinePort.Send(IOStall{Cycle: cycle, Age: age})
 	}
 }

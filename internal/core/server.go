@@ -119,19 +119,29 @@ func (c *Config) fillDefaults() {
 	c.Recovery.fillDefaults(c.Interval)
 }
 
+// diskCycle is one member disk's share of an interval batch. Each member
+// runs its own C-SCAN queue, so the admission comparison is per member:
+// the batch's actual I/O time is the slowest member's (the cycle-edge
+// barrier), as is the calculated bound.
+type diskCycle struct {
+	ops        int
+	bytes      int64
+	serviceSum sim.Time // member mechanism time consumed by its fragments
+	otherDelay sim.Time // non-real-time request in service at submit (O_other)
+	calculated sim.Time
+}
+
 // cycleStat tracks one scheduler interval's disk batch for the admission
 // accuracy experiments (Figures 8 and 9).
 type cycleStat struct {
-	cycle      int
-	submitted  sim.Time
-	streams    int
-	bytes      int64
-	reads      int
-	remaining  int
-	lastDone   sim.Time
-	serviceSum sim.Time // disk mechanism time consumed by the batch
-	otherDelay sim.Time // non-real-time request in service at submit (O_other)
-	calculated sim.Time
+	cycle     int
+	submitted sim.Time
+	streams   int
+	bytes     int64 // logical bytes
+	reads     int   // logical reads
+	remaining int   // fragments not yet finally absorbed
+	lastDone  sim.Time
+	disks     []diskCycle
 }
 
 // AccuracyRecord is the per-interval outcome used by Figures 8 and 9: the
@@ -188,6 +198,12 @@ type Stats struct {
 	RequestsShed   int   // control RPCs refused by the overload gate
 	DrainEvictions int   // streams still open at the drain deadline
 
+	// Per-member-disk fan-out (striped volumes): raw operations and bytes
+	// issued to each member. One entry per member; a single-disk server has
+	// one entry matching ReadsIssued/BytesRead.
+	DiskReads []int64
+	DiskBytes []int64
+
 	Accuracy []AccuracyRecord
 }
 
@@ -199,10 +215,11 @@ type IOOverrun struct {
 }
 
 // Server is a running CRAS instance: five threads on the kernel, a
-// real-time claim on the disk, and the shared buffers of its open streams.
+// real-time claim on the disk volume, and the shared buffers of its open
+// streams.
 type Server struct {
 	k   *rtm.Kernel
-	d   *disk.Disk
+	vol *disk.Volume
 	cfg Config
 
 	resolver Resolver
@@ -217,8 +234,8 @@ type Server struct {
 
 	streams  []*stream
 	nextID   int
-	doneQ    []*readTag
-	inflight []*readTag // submitted reads awaiting completion (watchdog scan set)
+	doneQ    []*readFrag
+	inflight []*readFrag // submitted fragments awaiting completion (watchdog scan set)
 	cycle    int
 	icache   intervalCache
 
@@ -260,20 +277,36 @@ func NewServer(k *rtm.Kernel, d *disk.Disk, unixServer *ufs.Server, cfg Config) 
 // paper's Figure 5 alternative configurations (RTS, or CRAS linked into
 // the application with no Unix server at all).
 func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *Server {
+	return NewVolumeServerWith(k, disk.SingleVolume(d), resolver, cfg)
+}
+
+// NewVolumeServer starts CRAS over a striped volume, resolving media files
+// through the Unix server mounted on the same volume. With one member the
+// server is bit-for-bit the single-disk configuration.
+func NewVolumeServer(k *rtm.Kernel, vol *disk.Volume, unixServer *ufs.Server, cfg Config) *Server {
+	return NewVolumeServerWith(k, vol, UnixResolver(unixServer), cfg)
+}
+
+// NewVolumeServerWith starts CRAS over a striped volume with an explicit
+// Resolver.
+func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg Config) *Server {
 	cfg.fillDefaults()
 	if cfg.Params.D == 0 {
-		// Calibrate the admission test from the disk, with the paper's
-		// 64 KB bound on other traffic.
-		cfg.Params = MeasureAdmissionParams(d, 64<<10)
+		// Calibrate the admission test from a member disk (NewVolume
+		// enforces identical members), with the paper's 64 KB bound on
+		// other traffic. The admission test then applies per member.
+		cfg.Params = MeasureAdmissionParams(vol.Disk(0), 64<<10)
 	}
 	s := &Server{
-		k: k, d: d, cfg: cfg, resolver: resolver,
+		k: k, vol: vol, cfg: cfg, resolver: resolver,
 		icache:       intervalCache{budget: cfg.CacheBudget},
 		reqPort:      k.NewBoundedPort("cras.request", cfg.RequestQueueCap),
 		iodonePort:   k.NewPort("cras.iodone"),
 		deadlinePort: k.NewPort("cras.deadline"),
 		signalPort:   k.NewPort("cras.signal"),
 	}
+	s.stats.DiskReads = make([]int64, vol.NumDisks())
+	s.stats.DiskBytes = make([]int64, vol.NumDisks())
 
 	// Request manager thread: accepts open/close/start/stop/seek and
 	// resolves block maps at open time (the non-real-time path). The shed
@@ -300,12 +333,12 @@ func NewServerWith(k *rtm.Kernel, d *disk.Disk, resolver Resolver, cfg Config) *
 	k.NewThread("cras.iodone", cfg.IODonePrio, cfg.Quantum, func(t *rtm.Thread) {
 		for !s.stopping {
 			m := s.iodonePort.Receive(t)
-			tag, ok := m.(*readTag)
+			fg, ok := m.(*readFrag)
 			if !ok {
 				continue // shutdown wakeup
 			}
 			t.Compute(costIODone)
-			s.doneQ = append(s.doneQ, tag)
+			s.doneQ = append(s.doneQ, fg)
 		}
 	})
 
@@ -399,9 +432,14 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) Stats() Stats {
 	out := s.stats
 	out.SendsRejected = s.reqPort.Rejected()
+	out.DiskReads = append([]int64(nil), s.stats.DiskReads...)
+	out.DiskBytes = append([]int64(nil), s.stats.DiskBytes...)
 	out.Accuracy = append([]AccuracyRecord(nil), s.stats.Accuracy...)
 	return out
 }
+
+// Volume returns the disk volume the server schedules.
+func (s *Server) Volume() *disk.Volume { return s.vol }
 
 // FixedFootprint models the server's code-and-static-data size, which the
 // paper reports as about 250 KB; CRAS wires all of its memory down, so
@@ -462,22 +500,42 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	s.watchdogScan(now, cycle)
 
 	// Phase 1: absorb completions delivered by the I/O-done manager. A
-	// failed read of a healthy stream is re-issued while the interval's
-	// spare time allows (the deadline-budgeted retry policy); past that
-	// budget the byte range is surrendered and the stream drops those
-	// chunks and plays on.
+	// failed fragment of a healthy stream is re-issued on its member disk
+	// while that disk's share of the interval's spare time allows (the
+	// deadline-budgeted retry policy); past that budget the fragment is
+	// surrendered, and when its tag's last fragment lands the stream drops
+	// the affected chunks and plays on.
 	stamped := int64(0)
-	budget := s.retrySpare()
-	for _, tag := range s.doneQ {
-		s.removeInflight(tag)
+	budgets := s.retrySpares()
+	for _, fg := range s.doneQ {
+		s.removeInflight(fg)
+		tag := fg.tag
 		live := tag.gen == tag.s.gen && !tag.s.closed
-		if live && tag.err != nil && s.retryAllowed(tag, &budget) {
-			tag.retries++
-			tag.err = nil
+		if live && fg.err != nil && s.retryAllowed(fg, budgets) {
+			fg.retries++
+			fg.err = nil
 			tag.s.stats.ReadRetries++
 			s.stats.ReadRetries++
-			s.submitTag(tag)
+			s.submitFrag(fg)
 			continue // final accounting happens when the retry completes
+		}
+		if fg.err != nil && tag.err == nil {
+			tag.err = fg.err
+		}
+		if tag.cyc != nil {
+			dc := &tag.cyc.disks[fg.disk]
+			tag.cyc.remaining--
+			dc.serviceSum += fg.completed - fg.started
+			if fg.completed > tag.cyc.lastDone {
+				tag.cyc.lastDone = fg.completed
+			}
+			if tag.cyc.remaining == 0 {
+				s.finishCycleStat(tag.cyc)
+			}
+		}
+		tag.fragsLeft--
+		if tag.fragsLeft > 0 {
+			continue // barrier: the tag completes with its slowest fragment
 		}
 		if live {
 			tag.done = true
@@ -486,16 +544,6 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 				tag.s.stats.ReadErrors++
 				tag.s.cycleErrs++
 				s.stats.ReadErrors++
-			}
-		}
-		if tag.cyc != nil {
-			tag.cyc.remaining--
-			tag.cyc.serviceSum += tag.completed - tag.started
-			if tag.completed > tag.cyc.lastDone {
-				tag.cyc.lastDone = tag.completed
-			}
-			if tag.cyc.remaining == 0 {
-				s.finishCycleStat(tag.cyc)
 			}
 		}
 	}
@@ -573,56 +621,84 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 		return !s.stopping
 	}
 
-	// Issue in cylinder order (the disk's RT queue also C-SCANs, but CRAS
-	// hands over a sorted batch as the paper describes).
-	sort.SliceStable(batch, func(i, j int) bool { return batch[i].lba < batch[j].lba })
-
-	cs := &cycleStat{cycle: cycle, submitted: s.k.Now(), streams: active, remaining: len(batch)}
+	// Fan the logical batch out into per-member-disk fragment lists. Each
+	// member's list is issued in cylinder order (the disk's RT queue also
+	// C-SCANs, but CRAS hands over a sorted batch as the paper describes);
+	// the members then service their queues in parallel, and the barrier in
+	// phase 1 completes each tag with its slowest fragment.
+	cs := &cycleStat{
+		cycle: cycle, submitted: s.k.Now(), streams: active,
+		disks: make([]diskCycle, s.vol.NumDisks()),
+	}
+	perDisk := make([][]*readFrag, s.vol.NumDisks())
 	for _, tag := range batch {
 		cs.bytes += tag.hi - tag.lo
 		cs.reads++
-	}
-	// The per-interval estimate counts disk operations — Appendix C's
-	// formula (10) says "when N reads are performed" — because an
-	// interval's fetch for one stream can split across extents. The
-	// a-priori admission test keeps the paper's per-stream N.
-	cs.calculated = s.cfg.Params.CalculatedIOTime(cs.reads, cs.bytes)
-	cs.otherDelay = s.d.ActiveNonRTRemaining()
-
-	for _, tag := range batch {
 		tag.cyc = cs
 		s.stats.ReadsIssued++
 		s.stats.BytesRead += tag.hi - tag.lo
-		s.submitTag(tag)
+		for _, f := range s.vol.Fragments(tag.lba, tag.sectors) {
+			fg := &readFrag{tag: tag, disk: f.Disk, lba: f.LBA, sectors: f.Count}
+			tag.frags = append(tag.frags, fg)
+			perDisk[f.Disk] = append(perDisk[f.Disk], fg)
+			dc := &cs.disks[f.Disk]
+			dc.ops++
+			dc.bytes += fg.bytes()
+		}
+		tag.fragsLeft = len(tag.frags)
+		cs.remaining += len(tag.frags)
 	}
-	s.k.Engine().Tracef("cras: cycle %d: %d streams, %d ops, %d bytes, %d chunks stamped",
-		cycle, active, len(batch), cs.bytes, stamped)
+	// The per-interval estimate counts each member's disk operations —
+	// Appendix C's formula (10) says "when N reads are performed" — because
+	// an interval's fetch for one stream can split across extents (and, on
+	// a volume, across members). The a-priori admission test keeps the
+	// paper's per-stream N, evaluated per member.
+	for d := range cs.disks {
+		if cs.disks[d].ops > 0 {
+			cs.disks[d].calculated = s.cfg.Params.CalculatedIOTime(cs.disks[d].ops, cs.disks[d].bytes)
+		}
+	}
+	for d, frags := range perDisk {
+		if len(frags) == 0 {
+			continue
+		}
+		sort.SliceStable(frags, func(i, j int) bool { return frags[i].lba < frags[j].lba })
+		cs.disks[d].otherDelay = s.vol.Disk(d).ActiveNonRTRemaining()
+		for _, fg := range frags {
+			s.submitFrag(fg)
+		}
+	}
+	s.k.Engine().Tracef("cras: cycle %d: %d streams, %d ops (%d fragments), %d bytes, %d chunks stamped",
+		cycle, active, len(batch), cs.remaining, cs.bytes, stamped)
 	return !s.stopping
 }
 
-// submitTag issues (or re-issues) one raw disk operation for a tag and
-// registers it with the watchdog's in-flight set.
-func (s *Server) submitTag(tag *readTag) {
+// submitFrag issues (or re-issues) one raw disk operation for a fragment on
+// its member disk and registers it with the watchdog's in-flight set.
+func (s *Server) submitFrag(fg *readFrag) {
+	tag := fg.tag
 	req := &disk.Request{
-		LBA: tag.lba, Count: tag.sectors, RealTime: !s.cfg.NoRTQueue,
+		LBA: fg.lba, Count: fg.sectors, RealTime: !s.cfg.NoRTQueue,
 		Write: tag.s.record, // sparse payload: placement is what matters
 		Done: func(r *disk.Request, _ []byte) {
-			tag.started = r.Started
-			tag.completed = r.Completed
-			tag.err = r.Err
-			s.iodonePort.Send(tag)
+			fg.started = r.Started
+			fg.completed = r.Completed
+			fg.err = r.Err
+			s.iodonePort.Send(fg)
 		},
 	}
-	tag.req = req
-	tag.issuedAt = s.k.Now()
-	s.inflight = append(s.inflight, tag)
-	s.d.Submit(req)
+	fg.req = req
+	fg.issuedAt = s.k.Now()
+	s.inflight = append(s.inflight, fg)
+	s.stats.DiskReads[fg.disk]++
+	s.stats.DiskBytes[fg.disk] += fg.bytes()
+	s.vol.Disk(fg.disk).Submit(req)
 }
 
-// removeInflight drops a completed tag from the watchdog's scan set.
-func (s *Server) removeInflight(tag *readTag) {
-	for i, t := range s.inflight {
-		if t == tag {
+// removeInflight drops a completed fragment from the watchdog's scan set.
+func (s *Server) removeInflight(fg *readFrag) {
+	for i, f := range s.inflight {
+		if f == fg {
 			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
 			return
 		}
@@ -631,16 +707,31 @@ func (s *Server) removeInflight(tag *readTag) {
 
 // finishCycleStat records a completed batch's accuracy and checks the
 // I/O deadline (end of the interval that issued it). The "actual disk I/O
-// time" compared against the estimate is the mechanism time the batch
-// consumed plus the delay from a non-real-time request that was in service
-// when the batch was submitted — the quantities formulas (9)-(15) bound.
-// Queueing behind a previous overrunning batch is deliberately excluded:
-// that is a symptom of oversubscription, not estimation error.
+// time" compared against the estimate is, per member disk, the mechanism
+// time the member's fragments consumed plus the delay from a non-real-time
+// request that was in service when the batch was submitted — the
+// quantities formulas (9)-(15) bound. The members work in parallel and the
+// batch barriers on the slowest, so both the actual and the calculated
+// batch time are the worst member's. Queueing behind a previous
+// overrunning batch is deliberately excluded: that is a symptom of
+// oversubscription, not estimation error.
 func (s *Server) finishCycleStat(cs *cycleStat) {
-	actual := cs.otherDelay + cs.serviceSum
+	var actual, calculated sim.Time
+	for i := range cs.disks {
+		dc := &cs.disks[i]
+		if dc.ops == 0 {
+			continue
+		}
+		if a := dc.otherDelay + dc.serviceSum; a > actual {
+			actual = a
+		}
+		if dc.calculated > calculated {
+			calculated = dc.calculated
+		}
+	}
 	s.stats.Accuracy = append(s.stats.Accuracy, AccuracyRecord{
 		Cycle: cs.cycle, Streams: cs.streams, Bytes: cs.bytes,
-		Actual: actual, Calculated: cs.calculated,
+		Actual: actual, Calculated: calculated,
 	})
 	deadline := cs.submitted + s.cfg.Interval
 	if cs.lastDone > deadline {
@@ -695,6 +786,13 @@ func (s *Server) session(id int, now sim.Time) *stream {
 		st.touch(now)
 	}
 	return st
+}
+
+// admit runs the admission test for a candidate stream set against the
+// server's interval, memory budget and volume. On one disk it is exactly
+// the paper's test; on a striped volume every member must pass.
+func (s *Server) admit(set []StreamParams) error {
+	return s.cfg.Params.AdmitVolume(s.cfg.Interval, s.ramBudget(), s.vol.NumDisks(), set)
 }
 
 // admissionSet returns the StreamParams of all open streams plus extras.
@@ -775,6 +873,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		}
 		// Rate changes change R_i; re-run admission on the updated set.
 		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
+		updated = StripedParams(s.cfg.Interval, updated, s.vol.NumDisks(), s.vol.StripeBytes())
 		var set []StreamParams
 		for _, other := range s.streams {
 			if other.closed || other == st {
@@ -782,7 +881,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 			}
 			set = append(set, other.par)
 		}
-		if err := s.cfg.Params.Admit(s.cfg.Interval, s.ramBudget(), append(set, updated)); err != nil {
+		if err := s.admit(append(set, updated)); err != nil {
 			s.stats.AdmissionRejects++
 			return opResp{err: err}
 		}
@@ -822,6 +921,7 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
 		Chunk: maxChunkSize(r.info),
 	}
+	par = StripedParams(s.cfg.Interval, par, s.vol.NumDisks(), s.vol.StripeBytes())
 	// Interval cache: a playback open on a path an active stream is already
 	// playing can follow that stream, charging pinned RAM instead of disk
 	// time — provided the steady-state pin reservation fits the budget.
@@ -839,7 +939,7 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	}
 	if !r.force {
 		for {
-			err := s.cfg.Params.Admit(s.cfg.Interval, s.ramBudget(), s.admissionSet(par))
+			err := s.admit(s.admissionSet(par))
 			if err == nil {
 				break
 			}

@@ -114,23 +114,43 @@ func (s *stream) touch(now sim.Time) {
 	}
 }
 
-// readTag links a raw disk read back to the stream bytes it covers.
+// readTag links a logical read back to the stream bytes it covers. On a
+// striped volume one logical read fans out into one raw operation per
+// member disk it touches (a readFrag each); the tag completes — and its
+// bytes become stampable — only when every fragment has completed, the
+// cycle-edge barrier. On a single disk a tag has exactly one fragment and
+// the machinery degenerates to the paper's one-queue scheduler.
 type readTag struct {
 	s         *stream
 	gen       int
 	cyc       *cycleStat
 	lo, hi    int64 // file byte range
-	lba       int64
+	lba       int64 // logical volume LBA
 	sectors   int
 	done      bool
-	failed    bool // read failed even after the retry budget
-	retries   int  // times the read has been re-issued
+	failed    bool  // read failed even after the retry budget
+	err       error // first fragment failure
+	frags     []*readFrag
+	fragsLeft int // fragments not yet finally absorbed
+}
+
+// readFrag is one member disk's share of a logical read: the unit the
+// per-disk C-SCAN queues, the retry budget and the I/O watchdog operate on.
+// Retries re-issue only the failed fragment, on its own disk.
+type readFrag struct {
+	tag       *readTag
+	disk      int   // member index
+	lba       int64 // member LBA
+	sectors   int
+	retries   int // times this fragment has been re-issued
 	err       error
 	req       *disk.Request // outstanding raw operation (for the watchdog)
 	issuedAt  sim.Time      // when req was (last) submitted
 	started   sim.Time
 	completed sim.Time
 }
+
+func (f *readFrag) bytes() int64 { return int64(f.sectors) * 512 }
 
 // seekTo repositions the fetch machinery at the chunk covering the logical
 // time and clears buffered data; in-flight reads are invalidated by the

@@ -1,0 +1,139 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+)
+
+// StripeSweepConfig parameterizes the striped-volume capacity sweep.
+type StripeSweepConfig struct {
+	Seed          int64
+	Duration      sim.Time // playback window per point; 0 = 12 s
+	DiskCounts    []int    // member counts to sweep; nil = {1, 2, 4, 8}
+	StripeSectors int64    // stripe unit; 0 = the lab default (64 sectors)
+}
+
+// StripePoint is one member count's outcome: how many streams the per-disk
+// admission test accepted, and how hard each member actually worked while
+// they all played.
+type StripePoint struct {
+	Disks    int
+	Admitted int
+	Util     []float64 // per-member BusyTime fraction of the playback window
+	IOMisses int
+}
+
+// StripeSweepResult backs the striping extension: admitted capacity and
+// per-member utilization versus member count, everything else held fixed.
+type StripeSweepResult struct {
+	StripeSectors int64
+	Rate          float64 // per-stream bytes/s
+	Points        []StripePoint
+}
+
+// RunStripeSweep opens identical MPEG2-class streams until admission
+// refuses one, then plays the admitted set for the configured window and
+// samples each member disk's busy time. The per-disk admission test is the
+// capacity limiter: the interval cache is off, control-plane shedding is
+// disabled, and the buffer budget is set high enough that disk time — not
+// RAM — binds.
+func RunStripeSweep(cfg StripeSweepConfig) *StripeSweepResult {
+	if cfg.Duration == 0 {
+		cfg.Duration = 12 * time.Second
+	}
+	if len(cfg.DiskCounts) == 0 {
+		cfg.DiskCounts = []int{1, 2, 4, 8}
+	}
+	profile := media.MPEG2()
+	info := profile.Generate("/movie", cfg.Duration+8*time.Second)
+	res := &StripeSweepResult{Rate: profile.Rate}
+
+	for _, n := range cfg.DiskCounts {
+		pt := StripePoint{Disks: n}
+		m := lab.Build(lab.Setup{
+			Seed:          cfg.Seed,
+			Disks:         n,
+			StripeSectors: cfg.StripeSectors,
+			Movies:        []lab.Movie{{Path: "/movie", Info: info}},
+			CRAS: core.Config{
+				BufferBudget:        512 << 20,
+				MaxRequestsPerCycle: -1,
+			},
+		}, func(m *lab.Machine) {
+			m.App("sweep", rtm.PrioRTLow, 0, func(th *rtm.Thread) {
+				var handles []*core.Handle
+				for len(handles) < 200 {
+					h, err := m.CRAS.Open(th, info, "/movie", core.OpenOptions{})
+					if err != nil {
+						break
+					}
+					handles = append(handles, h)
+				}
+				pt.Admitted = len(handles)
+				for _, h := range handles {
+					h.Start(th)
+				}
+				busy0 := make([]sim.Time, m.Vol.NumDisks())
+				for d := range busy0 {
+					busy0[d] = m.Vol.Disk(d).Stats().BusyTime
+				}
+				start := m.Kernel.Now()
+				for m.Kernel.Now() < start+cfg.Duration {
+					th.Sleep(time.Second)
+					for _, h := range handles {
+						h.Renew(th)
+					}
+				}
+				window := m.Kernel.Now() - start
+				pt.Util = make([]float64, m.Vol.NumDisks())
+				for d := range pt.Util {
+					busy := m.Vol.Disk(d).Stats().BusyTime - busy0[d]
+					pt.Util[d] = busy.Seconds() / window.Seconds()
+				}
+				pt.IOMisses = m.CRAS.Stats().IODeadlineMiss
+				for _, h := range handles {
+					h.Close(th)
+				}
+			})
+		})
+		m.Run(cfg.Duration + 20*time.Second)
+		if res.StripeSectors == 0 {
+			res.StripeSectors = m.Vol.StripeSectors()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Table renders the sweep: one row per member count, utilization as
+// min–max across members (even numbers mean the stripe is spreading load).
+func (r *StripeSweepResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Striped-volume capacity (stripe %d sectors, %s streams)",
+			r.StripeSectors, metrics.MBps(r.Rate)),
+		"disks", "admitted", "member util min", "member util max", "I/O misses")
+	for _, p := range r.Points {
+		lo, hi := 1.0, 0.0
+		for _, u := range p.Util {
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		if len(p.Util) == 0 {
+			lo = 0
+		}
+		t.AddRow(p.Disks, p.Admitted,
+			fmt.Sprintf("%.0f%%", 100*lo), fmt.Sprintf("%.0f%%", 100*hi), p.IOMisses)
+	}
+	return t
+}

@@ -32,6 +32,16 @@ type Setup struct {
 	DiskCylinders int
 	DiskHeads     int
 
+	// Disks builds a striped volume over this many member disks (each with
+	// the geometry above). 0 or 1 is the single-disk machine; Disks == 1
+	// still routes through the volume layer (the identity mapping), which
+	// the equivalence tests rely on.
+	Disks int
+
+	// StripeSectors is the stripe unit; 0 picks 64 sectors (32 KB) when
+	// Disks > 1.
+	StripeSectors int64
+
 	FSOpts ufs.Options
 	CRAS   core.Config
 
@@ -54,7 +64,8 @@ type Setup struct {
 type Machine struct {
 	Eng    *sim.Engine
 	Kernel *rtm.Kernel
-	Disk   *disk.Disk
+	Disk   *disk.Disk   // member 0 (the whole disk on a single-disk machine)
+	Vol    *disk.Volume // the volume everything is mounted on
 	FS     *ufs.FileSystem
 	Unix   *ufs.Server
 	CRAS   *core.Server
@@ -79,14 +90,31 @@ func Build(s Setup, ready func(m *Machine)) *Machine {
 	if s.DiskHeads > 0 {
 		g.Heads = s.DiskHeads
 	}
-	d := disk.New(e, "sd0", g, p)
-	m := &Machine{Eng: e, Disk: d}
-	if _, err := ufs.Format(d, s.FSOpts); err != nil {
+	var vol *disk.Volume
+	if s.Disks >= 1 {
+		members := make([]*disk.Disk, s.Disks)
+		for i := range members {
+			members[i] = disk.New(e, fmt.Sprintf("sd%d", i), g, p)
+		}
+		stripe := s.StripeSectors
+		if stripe == 0 {
+			stripe = 64 // 32 KB, one UFS block span per unit at 512 B sectors
+		}
+		v, err := disk.NewVolume("vol0", members, stripe)
+		if err != nil {
+			return &Machine{Eng: e, setupErr: err}
+		}
+		vol = v
+	} else {
+		vol = disk.SingleVolume(disk.New(e, "sd0", g, p))
+	}
+	m := &Machine{Eng: e, Disk: vol.Disk(0), Vol: vol}
+	if _, err := ufs.Format(vol, s.FSOpts); err != nil {
 		m.setupErr = err
 		return m
 	}
 	e.Spawn("lab.setup", func(pr *sim.Proc) {
-		fs, err := ufs.Mount(pr, d, s.FSOpts)
+		fs, err := ufs.Mount(pr, vol, s.FSOpts)
 		if err != nil {
 			m.setupErr = fmt.Errorf("lab: mount: %w", err)
 			return
@@ -130,9 +158,9 @@ func Build(s Setup, ready func(m *Machine)) *Machine {
 		if !s.NoCRAS {
 			cfg := s.CRAS
 			if cfg.Params.D == 0 {
-				cfg.Params = core.MeasureAdmissionParams(d, 64<<10)
+				cfg.Params = core.MeasureAdmissionParams(vol.Disk(0), 64<<10)
 			}
-			m.CRAS = core.NewServer(m.Kernel, d, m.Unix, cfg)
+			m.CRAS = core.NewVolumeServer(m.Kernel, vol, m.Unix, cfg)
 		}
 		ready(m)
 	})

@@ -23,7 +23,7 @@ type cacheEntry struct {
 // disk I/O (on the normal, non-real-time queue — CRAS never reads through
 // it).
 type Cache struct {
-	dsk      *disk.Disk
+	dsk      BlockDevice
 	capacity int
 	entries  map[int64]*cacheEntry
 	seq      uint64
@@ -36,7 +36,7 @@ type Cache struct {
 }
 
 // NewCache creates a cache holding up to capacity blocks.
-func NewCache(dsk *disk.Disk, capacity int) *Cache {
+func NewCache(dsk BlockDevice, capacity int) *Cache {
 	if capacity < 4 {
 		capacity = 4
 	}

@@ -4,8 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-
-	"repro/internal/disk"
 )
 
 // Format constants. The 8 KB block matches the FFS configuration the paper
@@ -211,7 +209,7 @@ var ErrTooSmall = errors.New("ufs: disk too small")
 // Format writes a fresh file system onto the disk image offline (no disk
 // timing), the way mkfs prepares a volume before it is ever mounted. It
 // returns the resulting superblock.
-func Format(d *disk.Disk, opts Options) (*Super, error) {
+func Format(d BlockDevice, opts Options) (*Super, error) {
 	opts.fillDefaults()
 	nblocks := uint32(d.Geometry().TotalSectors() / SectorsPerBlock)
 	if int(nblocks) < opts.BlocksPerGroup+1 {
@@ -295,7 +293,7 @@ func newEmptyGroup(sb *Super, gi int) *group {
 // writeRoot writes the root inode into group 0's first inode block and marks
 // it allocated. Separated from the main loop for clarity since group 0 is
 // the only group with live contents at format time.
-func writeRoot(d *disk.Disk, sb *Super) error {
+func writeRoot(d BlockDevice, sb *Super) error {
 	g := loadGroupOffline(d, sb, 0)
 	bmpSet(g.inodeBmp, RootIno)
 	g.freeInodes--
@@ -310,7 +308,7 @@ func writeRoot(d *disk.Disk, sb *Super) error {
 	return nil
 }
 
-func loadGroupOffline(d *disk.Disk, sb *Super, gi int) *group {
+func loadGroupOffline(d BlockDevice, sb *Super, gi int) *group {
 	g := newEmptyGroup(sb, gi)
 	buf := peekBlock(d, int64(g.start))
 	g.decode(buf, sb)
@@ -318,13 +316,13 @@ func loadGroupOffline(d *disk.Disk, sb *Super, gi int) *group {
 	return g
 }
 
-func pokeBlock(d *disk.Disk, blk int64, data []byte) {
+func pokeBlock(d BlockDevice, blk int64, data []byte) {
 	for s := 0; s < SectorsPerBlock; s++ {
 		d.PokeSector(blk*SectorsPerBlock+int64(s), data[s*512:(s+1)*512])
 	}
 }
 
-func peekBlock(d *disk.Disk, blk int64) []byte {
+func peekBlock(d BlockDevice, blk int64) []byte {
 	out := make([]byte, BlockSize)
 	for s := 0; s < SectorsPerBlock; s++ {
 		copy(out[s*512:], d.PeekSector(blk*SectorsPerBlock+int64(s)))

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/disk"
 	"repro/internal/sim"
 )
 
@@ -25,7 +24,7 @@ var (
 // single simulation process at a time (the Unix server enforces this).
 type FileSystem struct {
 	eng   *sim.Engine
-	dsk   *disk.Disk
+	dsk   BlockDevice
 	sb    Super
 	cache *Cache
 
@@ -41,7 +40,7 @@ type FileSystem struct {
 // Mount reads the superblock (with disk timing, from the calling process)
 // and returns a file system handle. opts supplies runtime parameters
 // (cache size, read-ahead); on-disk parameters come from the superblock.
-func Mount(p *sim.Proc, dsk *disk.Disk, opts Options) (*FileSystem, error) {
+func Mount(p *sim.Proc, dsk BlockDevice, opts Options) (*FileSystem, error) {
 	opts.fillDefaults()
 	fs := &FileSystem{
 		eng:         p.Engine(),
@@ -66,7 +65,7 @@ func (fs *FileSystem) Super() Super { return fs.sb }
 func (fs *FileSystem) Cache() *Cache { return fs.cache }
 
 // Disk returns the underlying disk.
-func (fs *FileSystem) Disk() *disk.Disk { return fs.dsk }
+func (fs *FileSystem) Disk() BlockDevice { return fs.dsk }
 
 // ---- group and inode state ----
 
