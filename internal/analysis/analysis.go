@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -20,10 +19,21 @@ type Analyzer struct {
 	// consults Scope; tests may run an analyzer on any package directly.
 	Scope func(pkgPath string) bool
 
+	// Gather, if non-nil, is the analyzer's fact-export phase. The suite
+	// driver runs Gather over every in-scope package, in dependency order,
+	// before any Run executes; Gather must only export facts (via
+	// Pass.ExportObjectFact / ExportPackageFact), never report diagnostics.
+	Gather func(*Pass) error
+
+	// FactTypes documents the fact types the analyzer exports; purely
+	// informational (the in-memory store needs no registration).
+	FactTypes []Fact
+
 	Run func(*Pass) error
 }
 
-// A Pass carries one analyzer's view of one package.
+// A Pass carries one analyzer's view of one package, plus access to the
+// suite-level facilities (facts, call graph) when run under a Suite.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -31,11 +41,19 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	suite *Suite
 	diags *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos.
+// Graph returns the suite-wide call graph.
+func (p *Pass) Graph() *CallGraph { return p.suite.Graph }
+
+// Reportf records a diagnostic at pos. Calls from a Gather phase are
+// ignored: gathering exports facts, reporting belongs to Run.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.diags == nil {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
@@ -69,32 +87,12 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Run applies the analyzer to the package and returns its findings, with
-// //crasvet:allow directives already applied and the result sorted by
-// position.
+// Run applies the analyzer to the package alone — a one-package Suite, so
+// interprocedural analyzers see an intra-package call graph and facts —
+// and returns its findings, with //crasvet:allow directives already
+// applied and the result sorted by position.
 func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		diags:     &diags,
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
-	}
-	allow := pkg.directives()
-	kept := diags[:0]
-	for _, d := range diags {
-		if allow.allows(d) {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	sort.Slice(kept, func(i, j int) bool { return lessPosition(kept[i].Pos, kept[j].Pos) })
-	return kept, nil
+	return NewSuite([]*Package{pkg}).RunUnscoped(a)
 }
 
 func lessPosition(a, b token.Position) bool {
@@ -171,7 +169,7 @@ func (s directiveSet) allows(d Diagnostic) bool {
 
 // All returns the crasvet analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, RNGSource, EventLoop, IOErrCheck, PortBound}
+	return []*Analyzer{SimClock, RNGSource, EventLoop, IOErrCheck, PortBound, GoroConfine, HotAlloc, ErrCmp}
 }
 
 // suffixScope returns a Scope matching packages whose import path equals or

@@ -65,6 +65,28 @@ func TestPortBound(t *testing.T) {
 	analysistest.Run(t, "testdata/src/portbound", analysis.NewPortBound("portbound/fakertm"))
 }
 
+func TestGoroConfine(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/goroconfine", analysis.GoroConfine)
+}
+
+// TestGoroConfineCrossPackageFacts proves a ConfinedFact exported while
+// gathering a helper package is honored when analyzing an importer that
+// never sees the annotation text.
+func TestGoroConfineCrossPackageFacts(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/confinedx", analysis.GoroConfine)
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/hotalloc", analysis.HotAlloc)
+}
+
+// TestErrCmp also covers module-wide fact flow against import order: the
+// store helper package's own comparison is flagged because the main
+// fixture package (its importer) wraps store's errors.
+func TestErrCmp(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/errcmp", analysis.ErrCmp)
+}
+
 // TestSuiteCleanOnOwnPackage is an integration test of the loader and the
 // full suite: the analysis package itself must load, type-check without
 // errors, and come back clean.

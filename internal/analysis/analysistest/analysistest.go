@@ -49,6 +49,49 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 // rngsource's internal/sim/rng.go exemption).
 func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	t.Helper()
+	helpers, main := loadFixture(t, dir, pkgPath)
+	_ = helpers // helper packages only provide types; the analyzer sees main
+	diags, err := main.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	compare(t, main.Fset, main.Files, diags)
+}
+
+// RunSuite checks the analyzer against the fixture directory as a full
+// Suite: the helper packages in subdirectories are analyzed too (in
+// dependency order, with facts flowing to the main package), want comments
+// are honored in every file, and the analyzer runs with the suite-wide
+// call graph — the entry point for the interprocedural analyzers
+// (goroconfine, hotalloc, errcmp) and for cross-package fact fixtures.
+func RunSuite(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	RunSuiteAs(t, dir, filepath.Base(dir), a)
+}
+
+// RunSuiteAs is RunSuite with an explicit import path for the main fixture
+// package.
+func RunSuiteAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	helpers, main := loadFixture(t, dir, pkgPath)
+	suite := analysis.NewSuite(append(helpers, main))
+	diags, err := suite.RunUnscoped(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var files []*ast.File
+	for _, p := range suite.Pkgs {
+		files = append(files, p.Files...)
+	}
+	compare(t, main.Fset, files, diags)
+}
+
+// loadFixture parses and type-checks a fixture directory: subdirectory
+// helper packages first (importable as "<fixture>/<subdir>"), then the
+// main package under the given import path. All packages share one
+// FileSet.
+func loadFixture(t *testing.T, dir, pkgPath string) (helpers []*analysis.Package, main *analysis.Package) {
+	t.Helper()
 
 	fset := token.NewFileSet()
 	base := filepath.Base(dir)
@@ -58,16 +101,16 @@ func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("reading fixture dir: %v", err)
 	}
-	type helper struct {
-		path  string
-		files []*ast.File
-	}
-	var helpers []helper
 	var mainFiles []*ast.File
 	for _, e := range entries {
 		if e.IsDir() {
-			files := parseDir(t, fset, filepath.Join(dir, e.Name()))
-			helpers = append(helpers, helper{path: base + "/" + e.Name(), files: files})
+			sub := filepath.Join(dir, e.Name())
+			helpers = append(helpers, &analysis.Package{
+				Path:  base + "/" + e.Name(),
+				Dir:   sub,
+				Fset:  fset,
+				Files: parseDir(t, fset, sub),
+			})
 		}
 	}
 	mainFiles = parseDir(t, fset, dir)
@@ -92,7 +135,7 @@ func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 		}
 	}
 	for _, h := range helpers {
-		collect(h.files)
+		collect(h.Files)
 	}
 	collect(mainFiles)
 	imp := &fixtureImporter{
@@ -114,12 +157,12 @@ func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 		return pkg, info
 	}
 	for _, h := range helpers {
-		pkg, _ := check(h.path, h.files)
-		imp.local[h.path] = pkg
+		h.Types, h.Info = check(h.Path, h.Files)
+		imp.local[h.Path] = h.Types
 	}
 	tpkg, info := check(pkgPath, mainFiles)
 
-	pkg := &analysis.Package{
+	main = &analysis.Package{
 		Path:  pkgPath,
 		Dir:   dir,
 		Fset:  fset,
@@ -127,12 +170,7 @@ func RunAs(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 		Types: tpkg,
 		Info:  info,
 	}
-	diags, err := pkg.Run(a)
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-
-	compare(t, fset, mainFiles, diags)
+	return helpers, main
 }
 
 // parseDir parses the .go files directly inside dir (no recursion).
@@ -177,7 +215,7 @@ func exportData(t *testing.T, paths map[string]bool) map[string]string {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp struct{ ImportPath, Export string }
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); err == io.EOF { //crasvet:allow errcmp -- Decode returns bare io.EOF at a clean stream end; == is the documented idiom
 			break
 		} else if err != nil {
 			t.Fatalf("go list -export: decoding: %v", err)

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCmp guards sentinel-error matching. The module wraps errors — with
+// fmt.Errorf("...%w", err) and with typed errors carrying an Unwrap method
+// (core.OverloadError wraps ErrOverloaded) — so a sentinel compared with
+// == or != silently stops matching the moment any path between producer
+// and consumer adds a wrap. The analyzer taints, in its Gather phase:
+//
+//   - any package-level error variable used directly as a %w operand or
+//     returned by an Unwrap method (WrappedFact on the variable), and
+//   - any package whose returned errors are re-wrapped somewhere in the
+//     module — detected by tracing a %w operand's local assignments to
+//     the packages of the calls that produced it (WrapsPkgFact on the
+//     producing package; its sentinels may then arrive wrapped anywhere).
+//
+// Run then flags every ==/!= whose operand is a tainted sentinel,
+// demanding errors.Is. Comparisons against untainted sentinels (never
+// wrapped anywhere in the module) stay legal: they are exact by
+// construction, and ufs-internal code hot enough to care keeps them.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc: "forbid ==/!= against a sentinel error that is wrapped (via %w or an " +
+		"Unwrap method) anywhere in the module; match wrapped sentinels with errors.Is",
+	FactTypes: []Fact{(*WrappedFact)(nil), (*WrapsPkgFact)(nil)},
+	Gather:    gatherWraps,
+	Run:       runErrCmp,
+}
+
+// WrappedFact marks a package-level sentinel error variable as wrapped
+// somewhere in the module.
+type WrappedFact struct{}
+
+func (*WrappedFact) AFact() {}
+
+// WrapsPkgFact marks a package as one whose returned errors get re-wrapped
+// somewhere in the module, so its sentinels can arrive wrapped.
+type WrapsPkgFact struct{}
+
+func (*WrapsPkgFact) AFact() {}
+
+func gatherWraps(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// An Unwrap method returning a package-level error var wraps it.
+			if fd.Name.Name == "Unwrap" && fd.Recv != nil {
+				markUnwrapReturns(pass, fd)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+					return true
+				}
+				markErrorfWraps(pass, fd, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// markUnwrapReturns exports WrappedFact for every package-level error var
+// an Unwrap method can return.
+func markUnwrapReturns(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if obj := sentinelVar(pass.TypesInfo, res); obj != nil {
+				pass.ExportObjectFact(obj, &WrappedFact{})
+			}
+		}
+		return true
+	})
+}
+
+// markErrorfWraps handles one fmt.Errorf call: for each %w verb operand,
+// taint the sentinel it names directly, or the packages whose calls could
+// have produced the local error value it carries.
+func markErrorfWraps(pass *Pass, encl *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) < 2 || countWrapVerbs(pass.TypesInfo, call.Args[0]) == 0 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		arg := ast.Unparen(arg)
+		if !isErrorType(pass.TypesInfo.Types[arg].Type) {
+			continue
+		}
+		if obj := sentinelVar(pass.TypesInfo, arg); obj != nil {
+			pass.ExportObjectFact(obj, &WrappedFact{})
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			for _, pkg := range originPackages(pass.TypesInfo, encl, id) {
+				pass.ExportPackageFact(pkg, &WrapsPkgFact{})
+			}
+		}
+	}
+}
+
+// countWrapVerbs counts %w verbs in a constant format string.
+func countWrapVerbs(info *types.Info, format ast.Expr) int {
+	tv, ok := info.Types[format]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return 0
+	}
+	return strings.Count(constant.StringVal(tv.Value), "%w")
+}
+
+// sentinelVar resolves an expression to a package-level variable of type
+// error (a sentinel), or nil.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	v, ok := usedVar(info, ast.Unparen(e))
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return nil
+	}
+	if v.Pkg().Scope().Lookup(v.Name()) != v {
+		return nil
+	}
+	return v
+}
+
+func usedVar(info *types.Info, e ast.Expr) (*types.Var, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		return v, ok
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		return v, ok
+	}
+	return nil, false
+}
+
+// originPackages scans the enclosing function for assignments to the local
+// variable and returns the import paths of the called functions that could
+// have produced its value.
+func originPackages(info *types.Info, encl *ast.FuncDecl, id *ast.Ident) []string {
+	target := info.Uses[id]
+	if target == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var pkgs []string
+	note := func(rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || seen[fn.Pkg().Path()] {
+			return
+		}
+		seen[fn.Pkg().Path()] = true
+		pkgs = append(pkgs, fn.Pkg().Path())
+	}
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || (info.Uses[lid] != target && info.Defs[lid] != target) {
+				continue
+			}
+			if len(as.Rhs) == 1 {
+				note(as.Rhs[0]) // multi-value call: x, err := f()
+			} else if i < len(as.Rhs) {
+				note(as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return pkgs
+}
+
+func runErrCmp(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				obj := sentinelVar(info, side)
+				if obj == nil {
+					continue
+				}
+				other := be.Y
+				if side == be.Y {
+					other = be.X
+				}
+				if !isErrorType(info.Types[ast.Unparen(other)].Type) {
+					continue
+				}
+				if !sentinelWrapped(pass, obj) {
+					continue
+				}
+				verb := "errors.Is(err, " + obj.Name() + ")"
+				if be.Op == token.NEQ {
+					verb = "!" + verb
+				}
+				pass.Reportf(be.Pos(),
+					"%s %s %s: the sentinel is wrapped elsewhere in the module, so == misses wrapped values; use %s",
+					renderOperand(other), be.Op, obj.Name(), verb)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelWrapped reports whether the sentinel itself, or its defining
+// package's returned errors, are wrapped anywhere in the module.
+func sentinelWrapped(pass *Pass, obj *types.Var) bool {
+	var wf WrappedFact
+	if pass.ImportObjectFact(obj, &wf) {
+		return true
+	}
+	var pf WrapsPkgFact
+	return pass.ImportPackageFact(obj.Pkg().Path(), &pf)
+}
+
+// renderOperand names the non-sentinel side of the comparison for the
+// message, defaulting to "err".
+func renderOperand(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "err"
+}

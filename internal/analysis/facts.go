@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// The facts layer, modeled on golang.org/x/tools/go/analysis facts but
+// in-memory: an analyzer running on one package can attach typed facts to
+// objects (package-level declarations, methods, struct fields) or to whole
+// packages, and analyzers running later — on the same package or on any
+// other package of the suite — can look them up. The suite driver runs each
+// analyzer's Gather phase over every package in dependency order before any
+// Run phase executes, so facts gathered anywhere in the module are visible
+// to every Run (a deliberate extension of the x/tools model, where facts
+// only flow along import edges: invariants like "this sentinel is wrapped
+// somewhere in the module" need the module-wide view).
+//
+// Cross-package object identity: a package sees its dependencies through
+// compiler export data, so the types.Object for ufs.ErrExists inside
+// internal/media is not the same Go value as the one produced by
+// type-checking internal/ufs from source. Facts are therefore keyed by a
+// stable path — package path plus declaration name (plus owner type for
+// methods and struct fields) — computed identically from either view.
+
+// A Fact is a typed datum attached to an object or package. Implementations
+// must be pointer types; AFact is a marker.
+type Fact interface{ AFact() }
+
+// factKey identifies one fact slot: which analyzer wrote it, the stable
+// object (or package) key, and the concrete fact type.
+type factKey struct {
+	analyzer string
+	object   string
+	typ      reflect.Type
+}
+
+type factStore map[factKey]Fact
+
+// objectKey returns a stable cross-view key for obj: "pkg.Name" for
+// package-level declarations, "pkg.Type.Name" for methods and struct
+// fields of package-level named types. Objects without a stable path
+// (locals, fields of anonymous types) report ok=false.
+func objectKey(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if pkg.Scope().Lookup(obj.Name()) == obj {
+		return pkg.Path() + "." + obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if named := namedOf(sig.Recv().Type()); named != nil {
+				return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return pkg.Path() + "." + name + "." + v.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func (s factStore) set(analyzer, object string, f Fact) {
+	s[factKey{analyzer, object, reflect.TypeOf(f)}] = f
+}
+
+// get copies a stored fact of ptr's type into ptr and reports whether one
+// existed.
+func (s factStore) get(analyzer, object string, ptr Fact) bool {
+	f, ok := s[factKey{analyzer, object, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// pkgFactKey is the object-key namespace for package-level facts.
+func pkgFactKey(pkgPath string) string { return "pkg:" + pkgPath }
+
+// ExportObjectFact attaches fact to obj for later ImportObjectFact calls by
+// the same analyzer, from this or any other package of the suite. Unlike
+// x/tools, the object need not belong to the package under analysis: the
+// suite's store is module-global, which is what lets a wrap site in one
+// package taint a sentinel declared in another. Objects without a stable
+// key (locals) are silently skipped.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	key, ok := objectKey(obj)
+	if !ok {
+		return
+	}
+	p.suite.facts.set(p.Analyzer.Name, key, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type attached to obj
+// into ptr, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.suite.facts.get(p.Analyzer.Name, key, ptr)
+}
+
+// ExportPackageFact attaches fact to the package with the given import
+// path (not necessarily the package under analysis; see ExportObjectFact).
+func (p *Pass) ExportPackageFact(pkgPath string, fact Fact) {
+	p.suite.facts.set(p.Analyzer.Name, pkgFactKey(pkgPath), fact)
+}
+
+// ImportPackageFact copies the fact of ptr's concrete type attached to the
+// package with the given import path into ptr.
+func (p *Pass) ImportPackageFact(pkgPath string, ptr Fact) bool {
+	return p.suite.facts.get(p.Analyzer.Name, pkgFactKey(pkgPath), ptr)
+}

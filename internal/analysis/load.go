@@ -52,7 +52,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listPackage
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); err == io.EOF { //crasvet:allow errcmp -- Decode returns bare io.EOF at a clean stream end; == is the documented idiom
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Suite is the interprocedural driver: the full set of packages under
+// analysis, topologically sorted by import dependency, with one shared
+// call graph and one module-global fact store. Per-package analyzers run
+// unchanged under a suite; interprocedural analyzers additionally get a
+// Gather phase, which the driver runs over every package (in dependency
+// order) before any Run phase executes, so exported facts are visible
+// module-wide by the time diagnostics are produced.
+type Suite struct {
+	Pkgs  []*Package // dependency order: every package after its imports
+	Graph *CallGraph
+
+	facts factStore
+}
+
+// NewSuite builds a suite over the packages: sorts them so every package
+// follows its in-suite imports, and constructs the shared call graph. All
+// packages must share one token.FileSet (as Load guarantees).
+func NewSuite(pkgs []*Package) *Suite {
+	s := &Suite{Pkgs: depOrder(pkgs), facts: factStore{}}
+	if len(pkgs) > 0 {
+		s.Graph = buildCallGraph(pkgs[0].Fset, s.Pkgs)
+	} else {
+		s.Graph = buildCallGraph(nil, nil)
+	}
+	return s
+}
+
+// depOrder sorts packages in dependency order, ties broken by import path.
+func depOrder(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	order := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycle (impossible in valid Go) or done
+		}
+		state[p.Path] = 1
+		if p.Types != nil {
+			imports := p.Types.Imports()
+			paths := make([]string, 0, len(imports))
+			for _, imp := range imports {
+				paths = append(paths, imp.Path())
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				if dep, ok := byPath[path]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return order
+}
+
+// pass builds one analyzer's view of one package under this suite.
+func (s *Suite) pass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		suite:     s,
+		diags:     diags,
+	}
+}
+
+// Run applies the analyzers to every in-scope package: first every Gather
+// (fact export) in dependency order, then every Run. Findings have
+// //crasvet:allow directives applied and come back sorted by position.
+func (s *Suite) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return s.run(analyzers, false)
+}
+
+// RunUnscoped is Run with every analyzer's Scope ignored — the test entry
+// point, where fixtures live under paths no Scope would match.
+func (s *Suite) RunUnscoped(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return s.run(analyzers, true)
+}
+
+func (s *Suite) run(analyzers []*Analyzer, ignoreScope bool) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.Gather == nil {
+			continue
+		}
+		for _, pkg := range s.Pkgs {
+			if !ignoreScope && a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			if err := a.Gather(s.pass(a, pkg, nil)); err != nil {
+				return nil, fmt.Errorf("%s: %s (gather): %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	var all []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range s.Pkgs {
+			if !ignoreScope && a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			var diags []Diagnostic
+			if err := a.Run(s.pass(a, pkg, &diags)); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+			all = append(all, applyDirectives(pkg, diags)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Analyzer != all[j].Analyzer && all[i].Pos == all[j].Pos {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return lessPosition(all[i].Pos, all[j].Pos)
+	})
+	return all, nil
+}
+
+// applyDirectives drops diagnostics sanctioned by //crasvet:allow comments
+// in the package's source.
+func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	allow := pkg.directives()
+	kept := diags[:0]
+	for _, d := range diags {
+		if allow.allows(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

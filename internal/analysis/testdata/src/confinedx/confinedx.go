@@ -1,0 +1,12 @@
+// Fixture for cross-package fact import: srv.Server.Stats is annotated
+// //crasvet:confined in the helper package; the fact must flow here and
+// flag the access even though the annotation is not visible in this file.
+package confinedx
+
+import "confinedx/srv"
+
+// Poke runs on no server thread, so the confined field is off limits.
+func Poke(s *srv.Server) {
+	s.Stats++ // want "confined field Stats"
+	s.Other++ // unannotated sibling stays free
+}

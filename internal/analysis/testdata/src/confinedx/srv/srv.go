@@ -1,0 +1,10 @@
+// Package srv declares a confined field consumed across a package
+// boundary: the ConfinedFact exported while gathering this package must be
+// visible when the main fixture package (which imports it) is analyzed.
+package srv
+
+// Server exposes a scheduler-owned counter.
+type Server struct {
+	Stats int //crasvet:confined
+	Other int
+}

@@ -1,0 +1,67 @@
+// Fixture for the errcmp analyzer: ==/!= against a sentinel error is only
+// safe while nothing in the module wraps it. Three wrap routes are covered:
+// a direct %w operand, an Unwrap method, and re-wrapping another package's
+// returned errors (which taints that whole package).
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+
+	"errcmp/store"
+)
+
+// ErrDirect is wrapped with %w as a direct operand below.
+var ErrDirect = errors.New("direct")
+
+// ErrViaUnwrap is surfaced by box.Unwrap, so errors.Is can reach it
+// through a chain — and == cannot.
+var ErrViaUnwrap = errors.New("via unwrap")
+
+// ErrBare is never wrapped anywhere in the module: == stays fine.
+var ErrBare = errors.New("bare")
+
+// box is a wrapper error type.
+type box struct{ msg string }
+
+func (b box) Error() string { return b.msg }
+func (b box) Unwrap() error { return ErrViaUnwrap }
+
+// Seal wraps ErrDirect explicitly.
+func Seal() error {
+	return fmt.Errorf("sealed: %w", ErrDirect)
+}
+
+// Load re-wraps whatever store.Find returned, tainting package
+// errcmp/store.
+func Load(name string) error {
+	if err := store.Find(name); err != nil {
+		return fmt.Errorf("load %s: %w", name, err)
+	}
+	return nil
+}
+
+// Check holds the comparisons under test.
+func Check(err error) int {
+	if err == ErrDirect { // want "errors.Is"
+		return 1
+	}
+	if err != ErrViaUnwrap { // want "errors.Is"
+		return 2
+	}
+	if err == store.ErrMissing { // want "errors.Is"
+		return 3
+	}
+	if store.ErrLocal == err { // want "errors.Is"
+		return 4
+	}
+	if err == ErrBare { // unwrapped sentinel: == is exact, no diagnostic
+		return 5
+	}
+	return 0
+}
+
+// Allowed regression-tests the escape hatch on the new analyzer.
+func Allowed(err error) bool {
+	return err == ErrDirect //crasvet:allow errcmp -- fixture: directive must still suppress
+}

@@ -1,0 +1,29 @@
+// Package store declares sentinel errors. Nothing in this package wraps
+// them — the taint arrives from the main fixture package, which wraps
+// store's returned errors with %w. The comparison below must still be
+// flagged: facts are module-wide, not import-order-wide.
+package store
+
+import "errors"
+
+// ErrMissing is returned for unknown names.
+var ErrMissing = errors.New("missing")
+
+// ErrLocal is never wrapped directly, but lives in a package whose errors
+// are re-wrapped by a caller, so comparisons against it are flagged too
+// (the documented package-level over-approximation).
+var ErrLocal = errors.New("local")
+
+// Find reports whether the name exists.
+func Find(name string) error {
+	if name == "" {
+		return ErrMissing
+	}
+	return nil
+}
+
+// Probe compares inside the defining package; the wrap happens in the main
+// fixture package, so this only trips if facts flow module-wide.
+func Probe(name string) bool {
+	return Find(name) == ErrMissing // want "errors.Is"
+}

@@ -1,0 +1,73 @@
+// Fixture for the goroconfine analyzer: fields annotated //crasvet:confined
+// may only be touched from thread-entry-reachable functions, snapshot
+// accessors, or pre-concurrency construction.
+package goroconfine
+
+import "goroconfine/rtm"
+
+// Stats is per-cycle bookkeeping owned by the scheduler.
+type Stats struct{ Cycles int }
+
+// Server models the CRAS server shape: some fields are event-loop
+// confined, some are freely shared.
+type Server struct {
+	k     *rtm.Kernel
+	stats Stats //crasvet:confined
+	cycle int   //crasvet:confined
+	open  bool  // unannotated: accessible anywhere
+}
+
+// New is the pre-concurrency construction path.
+//
+//crasvet:init
+func New(k *rtm.Kernel) *Server {
+	s := &Server{k: k, stats: Stats{}, cycle: 0} // sanctioned by //crasvet:init
+	k.NewPeriodicThread(rtm.PeriodicConfig{Name: "sched"}, s.scheduleCycle)
+	k.NewThread("mgr", 1, func(t *rtm.Thread) {
+		s.manage()
+	})
+	return s
+}
+
+// scheduleCycle is the event loop itself (a NewPeriodicThread root).
+func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
+	s.cycle = cycle
+	s.stats.Cycles++
+	s.helper()
+	return true
+}
+
+// helper is reachable from the loop, so its accesses are sanctioned.
+func (s *Server) helper() {
+	s.stats.Cycles++
+	s.open = true
+}
+
+// manage is reachable from the NewThread body above.
+func (s *Server) manage() {
+	s.cycle++
+}
+
+// Snapshot is the documented cross-thread read path.
+//
+//crasvet:snapshot
+func (s *Server) Snapshot() Stats { return s.stats }
+
+// Peek is an undocumented accessor: not reachable from any thread entry.
+func (s *Server) Peek() int {
+	return s.cycle // want "confined field cycle"
+}
+
+// Race is the class of bug the analyzer exists for: a Stats write from a
+// goroutine that is not one of the server's threads.
+func (s *Server) Race() {
+	go func() {
+		s.stats.Cycles++ // want "confined field stats"
+	}()
+	s.open = false // unannotated fields stay free
+}
+
+// Allowed regression-tests the escape hatch on the new analyzer.
+func (s *Server) Allowed() int {
+	return s.cycle //crasvet:allow goroconfine -- fixture: directive must still suppress
+}

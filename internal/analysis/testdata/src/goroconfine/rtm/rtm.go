@@ -1,0 +1,23 @@
+// Package rtm is a minimal stand-in for repro/internal/rtm: the call-graph
+// root detection matches callbacks handed to NewThread/NewPeriodicThread on
+// any package whose import path ends in "/rtm".
+package rtm
+
+// Thread is a fake scheduler handle.
+type Thread struct{}
+
+// Kernel is a fake cooperative kernel.
+type Kernel struct{}
+
+// PeriodicConfig mirrors the real periodic-thread configuration.
+type PeriodicConfig struct{ Name string }
+
+// NewThread registers a thread body.
+func (k *Kernel) NewThread(name string, prio int, body func(t *Thread)) *Thread {
+	return &Thread{}
+}
+
+// NewPeriodicThread registers a periodic event-loop body.
+func (k *Kernel) NewPeriodicThread(cfg PeriodicConfig, body func(t *Thread, cycle int) bool) *Thread {
+	return &Thread{}
+}

@@ -1,0 +1,62 @@
+// Fixture for the hotalloc analyzer: allocation-prone constructs are
+// flagged inside //crasvet:hotpath functions and inside anything reachable
+// from a periodic event-loop callback; cold code stays unflagged.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotalloc/rtm"
+)
+
+// Server carries buffers the hot path is expected to reuse.
+type Server struct {
+	names []string
+	buf   []byte
+}
+
+// Start wires the event loop; it runs once, so its own literals are cold.
+func Start(k *rtm.Kernel, s *Server) {
+	k.NewPeriodicThread(rtm.PeriodicConfig{Name: "sched"}, s.cycle)
+}
+
+// cycle is hot by reachability: it is the NewPeriodicThread callback.
+func (s *Server) cycle(t *rtm.Thread, n int) bool {
+	s.names = append(s.names, "x") // want "append"
+	s.stamp(n)
+	return true
+}
+
+// stamp is hot transitively (called from cycle).
+func (s *Server) stamp(n int) {
+	_ = fmt.Sprintf("cycle %d", n) // want "fmt.Sprintf"
+}
+
+// Deliver is hot by annotation, independent of the call graph.
+//
+//crasvet:hotpath
+func (s *Server) Deliver(n int) {
+	p := &Server{} // want "composite literal"
+	_ = p
+	m := make([]byte, n) // want "make"
+	_ = m
+	f := func() int { return n } // want "closure"
+	_ = f()
+	logf("frag %d", n) // want "variadic"
+}
+
+// logf is a printf-shaped helper: calling it boxes arguments into ...any.
+func logf(format string, args ...any) {}
+
+// Cold is not reachable from the loop and not annotated: allocations here
+// are fine.
+func Cold(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Allowed regression-tests the escape hatch on the new analyzer.
+//
+//crasvet:hotpath
+func Allowed() {
+	_ = make([]int, 4) //crasvet:allow hotalloc -- fixture: directive must still suppress
+}

@@ -1,0 +1,17 @@
+// Package rtm is a minimal stand-in for repro/internal/rtm so the fixture
+// can exercise periodic-thread root detection.
+package rtm
+
+// Thread is a fake scheduler handle.
+type Thread struct{}
+
+// Kernel is a fake cooperative kernel.
+type Kernel struct{}
+
+// PeriodicConfig mirrors the real periodic-thread configuration.
+type PeriodicConfig struct{ Name string }
+
+// NewPeriodicThread registers a periodic event-loop body.
+func (k *Kernel) NewPeriodicThread(cfg PeriodicConfig, body func(t *Thread, cycle int) bool) *Thread {
+	return &Thread{}
+}

@@ -232,28 +232,31 @@ type Server struct {
 
 	schedThread *rtm.Thread
 
-	streams  []*stream
-	nextID   int
-	doneQ    []*readFrag
-	inflight []*readFrag // submitted fragments awaiting completion (watchdog scan set)
-	cycle    int
-	icache   intervalCache
+	streams []*stream   //crasvet:confined
+	nextID  int         //crasvet:confined
+	doneQ   []*readFrag //crasvet:confined
+	// submitted fragments awaiting completion (watchdog scan set)
+	inflight []*readFrag   //crasvet:confined
+	cycle    int           //crasvet:confined
+	icache   intervalCache //crasvet:confined
 
 	// Consecutive-I/O-overrun tracking for server-wide shedding,
 	// maintained by the deadline manager thread.
-	overrunRun       int
-	lastOverrunCycle int
+	overrunRun       int //crasvet:confined
+	lastOverrunCycle int //crasvet:confined
 
 	// Control-plane overload window (control.go), touched only by the
 	// request manager thread.
-	ctlWindow sim.Time
-	ctlOps    int
-	ctlShed   int
+	ctlWindow sim.Time //crasvet:confined
+	ctlOps    int      //crasvet:confined
+	ctlShed   int      //crasvet:confined
 
+	// draining/drainAt are deliberately not confined: Drain() writes them
+	// from the caller's context before the request manager observes them.
 	draining bool
 	drainAt  sim.Time
 	stopping bool
-	stats    Stats
+	stats    Stats //crasvet:confined
 
 	// OnDeadlineMiss, if set, observes every deadline event (thread
 	// overruns, I/O overruns, and watchdog-detected stalls). The default
@@ -288,7 +291,10 @@ func NewVolumeServer(k *rtm.Kernel, vol *disk.Volume, unixServer *ufs.Server, cf
 }
 
 // NewVolumeServerWith starts CRAS over a striped volume with an explicit
-// Resolver.
+// Resolver. Construction runs before the kernel schedules any thread, so
+// it may touch confined state freely.
+//
+//crasvet:init
 func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg Config) *Server {
 	cfg.fillDefaults()
 	if cfg.Params.D == 0 {
@@ -428,7 +434,11 @@ func (s *Server) noteHealth(ev StreamHealthEvent) {
 // Config returns the effective configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Stats returns a copy of the server statistics.
+// Stats returns a copy of the server statistics. This is the documented
+// cross-thread read path: the engine is cooperative, so a snapshot taken
+// between quanta observes a consistent state.
+//
+//crasvet:snapshot
 func (s *Server) Stats() Stats {
 	out := s.stats
 	out.SendsRejected = s.reqPort.Rejected()
@@ -450,6 +460,8 @@ const FixedFootprint = 250 << 10
 // the fixed footprint plus every open stream's shared buffer. The paper's
 // compactness argument rests on this staying small enough to wire without
 // starving other applications.
+//
+//crasvet:snapshot
 func (s *Server) MemoryFootprint() int64 {
 	total := int64(FixedFootprint) + s.icache.bytes
 	for _, st := range s.streams {
@@ -461,6 +473,8 @@ func (s *Server) MemoryFootprint() int64 {
 }
 
 // ActiveStreams returns the number of open sessions.
+//
+//crasvet:snapshot
 func (s *Server) ActiveStreams() int {
 	n := 0
 	for _, st := range s.streams {
@@ -480,6 +494,8 @@ func (s *Server) Stopped() bool { return s.stopping }
 // scheduleCycle is one run of the request scheduler thread: stamp the data
 // retrieved during the previous interval into the shared buffers, discard
 // obsolete data, then issue the next interval's reads in cylinder order.
+//
+//crasvet:hotpath
 func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	if s.stopping {
 		return false
@@ -675,6 +691,8 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 
 // submitFrag issues (or re-issues) one raw disk operation for a fragment on
 // its member disk and registers it with the watchdog's in-flight set.
+//
+//crasvet:hotpath
 func (s *Server) submitFrag(fg *readFrag) {
 	tag := fg.tag
 	req := &disk.Request{
@@ -696,6 +714,8 @@ func (s *Server) submitFrag(fg *readFrag) {
 }
 
 // removeInflight drops a completed fragment from the watchdog's scan set.
+//
+//crasvet:hotpath
 func (s *Server) removeInflight(fg *readFrag) {
 	for i, f := range s.inflight {
 		if f == fg {
@@ -715,6 +735,8 @@ func (s *Server) removeInflight(fg *readFrag) {
 // batch time are the worst member's. Queueing behind a previous
 // overrunning batch is deliberately excluded: that is a symptom of
 // oversubscription, not estimation error.
+//
+//crasvet:hotpath
 func (s *Server) finishCycleStat(cs *cycleStat) {
 	var actual, calculated sim.Time
 	for i := range cs.disks {

@@ -1,6 +1,7 @@
 package ufs
 
 import (
+	"errors"
 	"strings"
 
 	"repro/internal/sim"
@@ -229,7 +230,7 @@ func (fs *FileSystem) MkdirAll(p *sim.Proc, path string) error {
 	cur := ""
 	for _, part := range parts {
 		cur += "/" + part
-		if err := fs.Mkdir(p, cur); err != nil && err != ErrExists {
+		if err := fs.Mkdir(p, cur); err != nil && !errors.Is(err, ErrExists) {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package ufs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -260,7 +261,7 @@ func TestUnlinkFreesBlocks(t *testing.T) {
 		if after != before {
 			t.Fatalf("free blocks: before=%d after=%d (leak of %d)", before, after, before-after)
 		}
-		if _, err := fs.Open(p, "/victim"); err != ErrNotFound {
+		if _, err := fs.Open(p, "/victim"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("Open after unlink = %v", err)
 		}
 	})
@@ -306,7 +307,7 @@ func TestDirectoryOperations(t *testing.T) {
 		if err := fs.Mkdir(p, "/a/b"); err != nil {
 			t.Fatalf("nested Mkdir: %v", err)
 		}
-		if err := fs.Mkdir(p, "/a"); err != ErrExists {
+		if err := fs.Mkdir(p, "/a"); !errors.Is(err, ErrExists) {
 			t.Fatalf("duplicate Mkdir = %v", err)
 		}
 		if _, err := fs.Create(p, "/a/b/f1"); err != nil {
@@ -315,17 +316,17 @@ func TestDirectoryOperations(t *testing.T) {
 		if _, err := fs.Create(p, "/a/b/f2"); err != nil {
 			t.Fatalf("Create: %v", err)
 		}
-		if _, err := fs.Create(p, "/a/b/f1"); err != ErrExists {
+		if _, err := fs.Create(p, "/a/b/f1"); !errors.Is(err, ErrExists) {
 			t.Fatalf("duplicate Create = %v", err)
 		}
-		if _, err := fs.Create(p, "/nosuch/f"); err != ErrNotFound {
+		if _, err := fs.Create(p, "/nosuch/f"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("Create in missing dir = %v", err)
 		}
 		ents, err := fs.ReadDir(p, "/a/b")
 		if err != nil || len(ents) != 2 {
 			t.Fatalf("ReadDir = %v, %v", ents, err)
 		}
-		if err := fs.Unlink(p, "/a/b"); err != ErrExists {
+		if err := fs.Unlink(p, "/a/b"); !errors.Is(err, ErrExists) {
 			t.Fatalf("Unlink of non-empty dir = %v", err)
 		}
 		fs.Unlink(p, "/a/b/f1")
@@ -333,7 +334,7 @@ func TestDirectoryOperations(t *testing.T) {
 		if err := fs.Unlink(p, "/a/b"); err != nil {
 			t.Fatalf("Unlink of empty dir = %v", err)
 		}
-		if _, err := fs.Stat(p, "/a/b"); err != ErrNotFound {
+		if _, err := fs.Stat(p, "/a/b"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("Stat after rmdir = %v", err)
 		}
 	})
@@ -361,7 +362,7 @@ func TestNameValidation(t *testing.T) {
 		if _, err := fs.Create(p, "/"+string(long)); err != ErrNameTooLong {
 			t.Fatalf("overlong name = %v", err)
 		}
-		if _, err := fs.Open(p, "/no/such/path"); err != ErrNotFound {
+		if _, err := fs.Open(p, "/no/such/path"); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("missing path = %v", err)
 		}
 	})

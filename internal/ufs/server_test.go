@@ -2,6 +2,7 @@ package ufs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -129,7 +130,7 @@ func TestServerStatUnlinkDirOps(t *testing.T) {
 			if err := c.Unlink("/docs/x"); err != nil {
 				t.Errorf("Unlink: %v", err)
 			}
-			if _, err := c.Open("/docs/x"); err != ErrNotFound {
+			if _, err := c.Open("/docs/x"); !errors.Is(err, ErrNotFound) {
 				t.Errorf("Open after unlink = %v", err)
 			}
 		})
