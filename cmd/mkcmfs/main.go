@@ -32,26 +32,42 @@ func main() {
 		rate      = flag.String("rate", "mpeg1", "stream profile: mpeg1 | mpeg2 | vbr")
 		fragment  = flag.Bool("fragment", false, "use the untuned rotdelay layout (demonstrates Section 3.2)")
 		container = flag.Bool("container", false, "store QuickTime-style containers (video+audio tracks per movie)")
+		parity    = flag.Int("parity", 0, "stripe across N rotating-parity members (N>=3); writes one image per member as <out>.<i>")
+		stripe    = flag.Int64("stripe", 64, "stripe unit in sectors (parity mode)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
 	eng := sim.NewEngine(*seed)
 	g, p := disk.ST32550N()
-	d := disk.New(eng, "sd0", g, p)
+	var dev ufs.BlockDevice
+	var members []*disk.Disk
+	if *parity > 0 {
+		members = make([]*disk.Disk, *parity)
+		for i := range members {
+			members[i] = disk.New(eng, fmt.Sprintf("sd%d", i), g, p)
+		}
+		vol, err := disk.NewParityVolume("vol0", members, *stripe)
+		if err != nil {
+			log.Fatalf("parity volume: %v", err)
+		}
+		dev = vol
+	} else {
+		dev = disk.New(eng, "sd0", g, p)
+	}
 
 	opts := ufs.Options{}
 	if *fragment {
 		opts = ufs.Options{MaxContig: 2, RotDelay: 4}
 	}
-	if _, err := ufs.Format(d, opts); err != nil {
+	if _, err := ufs.Format(dev, opts); err != nil {
 		log.Fatalf("format: %v", err)
 	}
 
 	dur := time.Duration(*seconds) * time.Second
 	var setupErr error
 	eng.Spawn("mkcmfs", func(pr *sim.Proc) {
-		fs, err := ufs.Mount(pr, d, opts)
+		fs, err := ufs.Mount(pr, dev, opts)
 		if err != nil {
 			setupErr = err
 			return
@@ -117,15 +133,35 @@ func main() {
 		log.Fatal(setupErr)
 	}
 
+	if *parity > 0 {
+		// One image per member; cmfsck -parity reassembles and verifies them.
+		var total int64
+		for i, m := range members {
+			path := fmt.Sprintf("%s.%d", *out, i)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := m.SaveImage(f); err != nil {
+				log.Fatalf("save image %s: %v", path, err)
+			}
+			st, _ := f.Stat()
+			total += st.Size()
+			f.Close()
+		}
+		fmt.Printf("wrote %s.0..%d (%d movies, images %d KB, volume %d MB usable)\n",
+			*out, *parity-1, *nMovies, total/1024, dev.Geometry().Capacity()>>20)
+		return
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := d.SaveImage(f); err != nil {
+	if err := dev.(*disk.Disk).SaveImage(f); err != nil {
 		log.Fatalf("save image: %v", err)
 	}
 	st, _ := f.Stat()
 	fmt.Printf("wrote %s (%d movies, image %d KB, volume %d MB)\n",
-		*out, *nMovies, st.Size()/1024, d.Geometry().Capacity()>>20)
+		*out, *nMovies, st.Size()/1024, dev.Geometry().Capacity()>>20)
 }

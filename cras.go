@@ -76,10 +76,17 @@ var (
 	// LoadDiskImage reconstructs a disk from an image written by SaveImage.
 	LoadDiskImage = disk.LoadImage
 	// NewVolume stripes member disks into one logical device; SingleVolume
-	// wraps one disk as the identity volume.
-	NewVolume    = disk.NewVolume
-	SingleVolume = disk.SingleVolume
+	// wraps one disk as the identity volume. NewParityVolume adds a
+	// rotating parity unit per stripe row (RAID-5 style, N>=3), surviving
+	// the death of any one member.
+	NewVolume       = disk.NewVolume
+	SingleVolume    = disk.SingleVolume
+	NewParityVolume = disk.NewParityVolume
 )
+
+// DiskStats is one disk's (or one volume member's) activity counters, as
+// returned by Disk.Stats and Volume.MemberStats.
+type DiskStats = disk.Stats
 
 // ---- Unix file system ----
 
@@ -155,6 +162,20 @@ type (
 	ExtentMap       = core.ExtentMap
 	ServerStats     = core.Stats
 	AccuracyRecord  = core.AccuracyRecord
+	// VolumeShape describes a volume to the admission test (member count,
+	// parity, dead members); MemberHealth and MemberHealthEvent expose the
+	// per-member ladder of a parity volume.
+	VolumeShape       = core.VolumeShape
+	MemberHealth      = core.MemberHealth
+	MemberHealthEvent = core.MemberHealthEvent
+)
+
+// Member ladder positions (parity volumes).
+const (
+	MemberHealthy    = core.MemberHealthy
+	MemberSuspect    = core.MemberSuspect
+	MemberDead       = core.MemberDead
+	MemberRebuilding = core.MemberRebuilding
 )
 
 var (
@@ -165,8 +186,10 @@ var (
 	// MeasureAdmissionParams calibrates the admission test from a disk.
 	MeasureAdmissionParams = core.MeasureAdmissionParams
 	// StripedParams converts a stream's admission parameters to their
-	// per-member form for a striped volume (AdmissionParams.AdmitVolume).
+	// per-member form for a striped volume (AdmissionParams.AdmitVolume);
+	// VolumeParams is its shape-aware generalization covering parity.
 	StripedParams = core.StripedParams
+	VolumeParams  = core.VolumeParams
 	// NewTDBuffer creates a standalone time-driven shared memory buffer.
 	NewTDBuffer = core.NewTDBuffer
 	// NewLogicalClock returns a stopped logical clock at zero.

@@ -51,6 +51,33 @@ type Scenario struct {
 	StripeSectors int64
 	FaultDisk     int
 
+	// Parity builds the volume with rotating parity (RAID-5 style). The
+	// invariants then flip from confinement to recovery: faults on member
+	// FaultDisk must be absorbed by XOR reconstruction — every stream ends
+	// Healthy with zero lost frames, however sick the member gets.
+	Parity bool
+
+	// DiskCylinders/DiskHeads shrink the member disks (rebuild scenarios:
+	// fewer stripe rows to stream back). 0 keeps the full geometry.
+	DiskCylinders int
+	DiskHeads     int
+
+	// MovieDur overrides the campaign's 6 s movie length. The kill
+	// scenario stretches it: real-time reads must still be in flight well
+	// past KillAt, or the member detector has nothing to observe.
+	MovieDur sim.Time
+
+	// KillAt, when nonzero, fails member FaultDisk outright at this time
+	// (a whole-member bad region): every real-time read on it errors until
+	// ReplaceAt. The member detector must walk it Healthy→Suspect→Dead
+	// while reconstruction keeps every admitted stream whole.
+	KillAt sim.Time
+
+	// ReplaceAt, when nonzero, clears the member's fault model and
+	// attaches it as a replacement: the background rebuild must stream the
+	// member back and return it to Healthy before the run ends.
+	ReplaceAt sim.Time
+
 	// Victim poisons stream 0's disk layout from its second extent to the
 	// end of the file — a persistent bad-block region that must walk that
 	// stream down the degradation ladder while its peers play untouched.
@@ -135,6 +162,13 @@ type Result struct {
 	Players  []PlayerOutcome
 	Ladder   []core.StreamHealthEvent
 
+	// Member-ladder record (parity volumes): every transition, the final
+	// position of each member, and each member's I/O counters — the
+	// per-member stats that let an assertion name the dead member.
+	Members      []core.MemberHealthEvent
+	FinalMembers []core.MemberHealth
+	MemberIO     []disk.Stats
+
 	// Open-flood outcome split (OpenFlood scenarios only).
 	FloodAdmitted   int
 	FloodTurnedAway int
@@ -172,6 +206,10 @@ func Run(sc Scenario) *Result {
 		return res
 	}
 
+	dur := sc.MovieDur
+	if dur == 0 {
+		dur = movieDur
+	}
 	paths := make([]string, sc.Streams)
 	infos := make([]*media.StreamInfo, sc.Streams)
 	var movies []lab.Movie
@@ -180,13 +218,13 @@ func Run(sc Scenario) *Result {
 			paths[i] = "/c00"
 			infos[i] = infos[0]
 			if i == 0 {
-				infos[0] = media.MPEG1().Generate(paths[0], movieDur)
+				infos[0] = media.MPEG1().Generate(paths[0], dur)
 				movies = append(movies, lab.Movie{Path: paths[0], Info: infos[0]})
 			}
 			continue
 		}
 		paths[i] = fmt.Sprintf("/c%02d", i)
-		infos[i] = media.MPEG1().Generate(paths[i], movieDur)
+		infos[i] = media.MPEG1().Generate(paths[i], dur)
 		movies = append(movies, lab.Movie{Path: paths[i], Info: infos[i]})
 	}
 
@@ -212,7 +250,21 @@ func Run(sc Scenario) *Result {
 		// two of them while already degraded is conclusive at this
 		// scale, where the default (4) lets a short movie run out of
 		// region before the ladder finishes.
-		Recovery: core.RecoveryPolicy{SuspendAfter: 2},
+		// The member ladder gets the same treatment: a 6 s movie stops
+		// issuing reads a couple of seconds after the mid-play kill, so
+		// the detector must pronounce a member dead within a few cycles
+		// of its first errors or never get the chance. The watchdog runs
+		// at one interval instead of two: an admitted batch completes
+		// within its interval, and on a parity volume every cycle a stall
+		// survives is a cycle XOR reconstruction cannot serve — with two
+		// back-to-back stalls the default timeout chains past the buffer
+		// lead.
+		Recovery: core.RecoveryPolicy{
+			SuspendAfter:       2,
+			MemberSuspectAfter: 2,
+			MemberDeadAfter:    3,
+			WatchdogTimeout:    interval,
+		},
 	}
 	if sc.Share {
 		cfg.CacheBudget = 32 << 20
@@ -227,12 +279,18 @@ func Run(sc Scenario) *Result {
 		Seed:          sc.Seed,
 		Disks:         sc.Disks,
 		StripeSectors: sc.StripeSectors,
+		Parity:        sc.Parity,
+		DiskCylinders: sc.DiskCylinders,
+		DiskHeads:     sc.DiskHeads,
 		CRAS:          cfg,
 		Movies:        movies,
 	}, func(m *lab.Machine) {
 		serverStart = m.Eng.Now()
 		m.CRAS.OnStreamHealth = func(ev core.StreamHealthEvent) {
 			res.Ladder = append(res.Ladder, ev)
+		}
+		m.CRAS.OnMemberHealth = func(ev core.MemberHealthEvent) {
+			res.Members = append(res.Members, ev)
 		}
 		m.App("chaos.ctl", rtm.PrioRTLow, 0, func(th *rtm.Thread) {
 			spawn := func(i int) {
@@ -274,13 +332,25 @@ func Run(sc Scenario) *Result {
 				}
 				// On a striped volume the region is the victim's share of the
 				// fault disk: project the logical range through the stripe
-				// mapping (a contiguous range lands as one contiguous run per
-				// member). Peers' files project to disjoint member runs, so
-				// the poison is exclusive to the victim by construction.
+				// mapping. A RAID-0 range lands as one contiguous run per
+				// member; a parity member can carry several runs (its parity
+				// units interleave), so take the spanning region. Peers'
+				// files project to disjoint member runs, so the poison is
+				// exclusive to the victim by construction.
+				lo, hi := int64(-1), int64(-1)
 				for _, f := range m.Vol.Fragments(region.LBA, int(region.Sectors)) {
-					if f.Disk == sc.FaultDisk {
-						region = disk.BadRegion{LBA: f.LBA, Sectors: int64(f.Count)}
+					if f.Disk != sc.FaultDisk {
+						continue
 					}
+					if lo < 0 || f.LBA < lo {
+						lo = f.LBA
+					}
+					if end := f.LBA + int64(f.Count); end > hi {
+						hi = end
+					}
+				}
+				if lo >= 0 {
+					region = disk.BadRegion{LBA: lo, Sectors: hi - lo}
 				}
 				fcfg.BadRegions = append(fcfg.BadRegions, region)
 			}
@@ -313,6 +383,25 @@ func Run(sc Scenario) *Result {
 					})
 				}
 			}
+			if sc.KillAt > 0 {
+				// Member death, mid-play: a whole-member bad region makes
+				// every real-time read on FaultDisk error from here on. The
+				// member detector — not this script — must pronounce it dead.
+				th.SleepUntil(serverStart + sc.KillAt)
+				g := m.Vol.Disk(sc.FaultDisk).Geometry()
+				kill := disk.NewFaultModel(m.Eng.RNG("chaos:kill"), disk.FaultConfig{
+					RTOnly:     true,
+					BadRegions: []disk.BadRegion{{LBA: 0, Sectors: g.TotalSectors()}},
+				})
+				m.Vol.Disk(sc.FaultDisk).SetFaultModel(kill)
+			}
+			if sc.ReplaceAt > 0 {
+				// A fresh spindle arrives: clear the fault and hand the
+				// member to the rebuild scavenger.
+				th.SleepUntil(serverStart + sc.ReplaceAt)
+				m.Vol.Disk(sc.FaultDisk).SetFaultModel(nil)
+				m.CRAS.ReplaceMember(sc.FaultDisk)
+			}
 			if sc.DrainAfter > 0 {
 				th.SleepUntil(serverStart + sc.DrainAfter)
 				m.CRAS.Drain(sc.DrainGrace)
@@ -322,7 +411,7 @@ func Run(sc Scenario) *Result {
 
 	// Drive until every player finishes, then a short cool-down so the
 	// watchdog clears any stall injected near the end.
-	horizon := sim.Time(movieDur + initialDelay + 20*time.Second)
+	horizon := sim.Time(dur + initialDelay + 20*time.Second)
 	for ran := sim.Time(0); ran < horizon; ran += interval {
 		m.Run(interval)
 		if allDone(players) {
@@ -334,10 +423,22 @@ func Run(sc Scenario) *Result {
 		res.violate("machine setup failed: %v", err)
 		return res
 	}
+	if sc.ReplaceAt > 0 {
+		// The rebuild scavenger works in spare interval time; give it room
+		// to finish streaming the replacement back before judging the run.
+		for extra := sim.Time(0); extra < sim.Time(60*time.Second); extra += interval {
+			if membersAllHealthy(m.CRAS.MemberHealths()) {
+				break
+			}
+			m.Run(interval)
+		}
+	}
 
 	res.Elapsed = m.Eng.Now() - serverStart
 	res.Server = m.CRAS.Stats()
 	res.Disk = m.Vol.Stats()
+	res.FinalMembers = m.CRAS.MemberHealths()
+	res.MemberIO = m.Vol.MemberStats()
 	if model != nil {
 		res.Faults = model.Stats()
 	}
@@ -351,6 +452,15 @@ func Run(sc Scenario) *Result {
 
 	res.checkInvariants(m, players)
 	return res
+}
+
+func membersAllHealthy(hs []core.MemberHealth) bool {
+	for _, h := range hs {
+		if h != core.MemberHealthy {
+			return false
+		}
+	}
+	return true
 }
 
 func allDone(players []*playerState) bool {
@@ -474,10 +584,10 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 
 	// Striped-volume containment: whatever happened on the fault member,
 	// every healthy member's real-time queue must have kept moving — one
-	// sick spindle may not wedge the others.
+	// sick spindle may not wedge the others. The per-member stats name
+	// exactly which member misbehaved.
 	if r.Scenario.Disks > 1 {
-		for i := 0; i < m.Vol.NumDisks(); i++ {
-			ds := m.Vol.Disk(i).Stats()
+		for i, ds := range r.MemberIO {
 			if ds.Served[0]+ds.Served[1] == 0 {
 				r.violate("member disk %d served no requests on a %d-disk volume",
 					i, m.Vol.NumDisks())
@@ -489,7 +599,9 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		}
 	}
 
-	if r.Scenario.Victim {
+	r.checkParity(m)
+
+	if r.Scenario.Victim && !r.Scenario.Parity {
 		victim := r.Players[0]
 		if victim.Health == core.Healthy {
 			r.violate("victim stream still healthy over a persistent bad region")
@@ -526,7 +638,7 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 	}
 
 	for i, p := range r.Players {
-		if r.Scenario.Victim && i == 0 {
+		if r.Scenario.Victim && i == 0 && !r.Scenario.Parity {
 			continue // the victim is expected to lose its poisoned range
 		}
 		if r.Scenario.misbehaves() && i == 0 {
@@ -547,6 +659,69 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 	}
 
 	r.checkMisbehavior(m)
+}
+
+// checkParity asserts the recovery contract of a rotating-parity volume:
+// member faults are absorbed below the streams — reconstruction, not
+// degradation — and a killed member comes all the way back.
+func (r *Result) checkParity(m *lab.Machine) {
+	sc := r.Scenario
+	if !sc.Parity {
+		return
+	}
+	// Recovery, not confinement: every stream ends Healthy with zero lost
+	// frames, the old victim included — its poisoned member reads must have
+	// been served from the survivors.
+	for _, p := range r.Players {
+		if p.Lost != 0 {
+			r.violate("%s: lost %d frames on a parity volume (reconstruction must absorb member faults)",
+				p.Path, p.Lost)
+		}
+		if p.Health != core.Healthy {
+			r.violate("%s: ended %v on a parity volume; member faults must not walk streams down the ladder",
+				p.Path, p.Health)
+		}
+	}
+	if sc.Victim {
+		if r.Server.ParityReconstructions == 0 {
+			r.violate("victim's bad region never exercised XOR reconstruction")
+		}
+		if r.Server.StreamsDegraded != 0 {
+			r.violate("%d streams degraded over a recoverable member fault", r.Server.StreamsDegraded)
+		}
+	}
+	if sc.KillAt > 0 {
+		if r.Server.MembersDead != 1 {
+			r.violate("member %d was killed but MembersDead = %d", sc.FaultDisk, r.Server.MembersDead)
+		}
+		if r.Server.DegradedReads == 0 {
+			r.violate("member died but no read was served degraded")
+		}
+		died := false
+		for _, ev := range r.Members {
+			if ev.Member == sc.FaultDisk && ev.To == core.MemberDead {
+				died = true
+			}
+			if ev.Member != sc.FaultDisk && (ev.To == core.MemberDead || ev.To == core.MemberSuspect) {
+				r.violate("healthy member %d walked the ladder (%v -> %v): the fault was on member %d",
+					ev.Member, ev.From, ev.To, sc.FaultDisk)
+			}
+		}
+		if !died {
+			r.violate("member %d never pronounced Dead by the detector", sc.FaultDisk)
+		}
+	}
+	if sc.ReplaceAt > 0 {
+		if r.Server.RebuildUnits == 0 {
+			r.violate("replacement attached but no stripe row was rebuilt")
+		}
+		if !membersAllHealthy(r.FinalMembers) {
+			r.violate("members ended %v; the rebuild must return every member to Healthy", r.FinalMembers)
+		}
+		if row := m.Vol.VerifyParity(); row != -1 {
+			r.violate("parity inconsistent at stripe row %d after rebuild", row)
+		}
+	}
 }
 
 // leaseTTL is the default the campaign's servers run with (8*T).
@@ -724,22 +899,41 @@ func Campaign(base int64) []Scenario {
 			DrainAfter: 3 * time.Second, DrainGrace: 2 * time.Second,
 		},
 	)
-	// Striped-volume drills: a persistent bad region confined to one member
-	// of four must walk only the victim down the ladder while its peer — and
-	// the other three spindles — stay clean; and a stall on one member must
-	// trip the watchdog without wedging the healthy members' queues. Both at
-	// two streams so Quick keeps them.
+	// Striped-volume drills, upgraded from confinement to recovery by
+	// rotating parity: a persistent bad region confined to one member of
+	// four must be absorbed by XOR reconstruction — the victim stream ends
+	// Healthy with zero loss instead of walking the ladder — and a stall on
+	// one member must trip the watchdog and recover without costing a
+	// frame. Both at two streams so Quick keeps them.
 	out = append(out,
 		Scenario{
 			Name: "stripe-victim-1of4/s2", Seed: base*1000 + 107,
-			Streams: 2, Victim: true,
-			Disks: 4, FaultDisk: 1,
+			Streams: 2, Victim: true, ZeroLoss: true,
+			Disks: 4, FaultDisk: 1, Parity: true,
 		},
 		Scenario{
 			Name: "stripe-stall-1of4/s2", Seed: base*1000 + 108,
-			Streams: 2,
-			Disks:   4, FaultDisk: 2,
+			Streams: 2, ZeroLoss: true,
+			Disks: 4, FaultDisk: 2, Parity: true,
 			Faults: disk.FaultConfig{StallProb: 1, MaxStalls: 2},
+		},
+	)
+	// Member death and resurrection: one member of a four-disk parity
+	// volume dies outright mid-play (the detector must pronounce it, not
+	// the script), every admitted stream finishes with zero lost frames on
+	// reconstruction, and after a replacement arrives the background
+	// rebuild streams the member back to Healthy with consistent parity.
+	// Small members keep the rebuild inside the run. At two streams so
+	// Quick keeps it.
+	out = append(out,
+		Scenario{
+			Name: "parity-kill-1of4/s2", Seed: base*1000 + 109,
+			Streams: 2, ZeroLoss: true,
+			Disks: 4, FaultDisk: 1, Parity: true,
+			DiskCylinders: 64, DiskHeads: 2,
+			MovieDur:  12 * time.Second,
+			KillAt:    3 * time.Second,
+			ReplaceAt: 8 * time.Second,
 		},
 	)
 	return out

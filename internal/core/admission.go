@@ -143,6 +143,7 @@ func (a AdmissionParams) RequiredInterval(streams []StreamParams) (sim.Time, err
 		return 0, nil
 	}
 	if rTotal >= a.D {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission, never in a clean cycle
 		return 0, fmt.Errorf("core: aggregate rate %.0f B/s >= disk rate %.0f B/s", rTotal, a.D)
 	}
 	oTotal := a.TotalOverhead(n).Seconds()
@@ -190,14 +191,17 @@ func (e *AdmissionError) Error() string {
 func (a AdmissionParams) Admit(t sim.Time, budget int64, streams []StreamParams) error {
 	need, err := a.RequiredInterval(streams)
 	if err != nil {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 		return &AdmissionError{Interval: t, NeedBuffer: TotalBuffer(t, streams), Budget: budget, Reason: err.Error()}
 	}
 	buf := TotalBuffer(t, streams)
 	if need > t {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 		return &AdmissionError{NeedInterval: need, Interval: t, NeedBuffer: buf, Budget: budget,
 			Reason: "interval time too short for stream set"}
 	}
 	if buf > budget {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 		return &AdmissionError{NeedInterval: need, Interval: t, NeedBuffer: buf, Budget: budget,
 			Reason: "buffer memory exhausted"}
 	}
@@ -233,6 +237,73 @@ func StripedParams(t sim.Time, par StreamParams, ndisks int, stripeBytes int64) 
 	return par
 }
 
+// VolumeShape describes the volume the admission test runs against: member
+// count, redundancy mode, and how many members are currently dead. The
+// plain RAID-0 shape is {Disks: n} — AdmitVolume's historical signature.
+type VolumeShape struct {
+	Disks       int
+	Parity      bool
+	Dead        int   // dead members (0 or 1 under single parity)
+	StripeBytes int64 // stripe unit (parity load model only)
+}
+
+// parityDiskLoad bounds one live member's byte share of an interval fetch
+// of a bytes on an n-member rotating-parity volume. The scheduler issues at
+// most ONE coalesced read per member per logical fetch, spanning the
+// member's interleaved parity units (read-and-discard — cheaper than a
+// second operation), so the bound is in stripe rows:
+//
+//	units = ceil(a/stripe) + 1          (window misalignment)
+//	rows  = ceil(units/(n-1))           (n-1 data units per row)
+//
+// Healthy, the worst member's span holds its ceil(units/n) data share, up
+// to one unit of boundary slack, and the parity holes the span crosses
+// (one per n rows) — never more than the full row span. Degraded, every
+// survivor reads the affected rows IN FULL, because reconstructing the
+// dead member's units needs each survivor's whole unit for those rows:
+// ceil-fragments on all n-1 survivors, the honest cost of losing a member.
+func parityDiskLoad(a, stripeBytes int64, n int, degraded bool) int64 {
+	if stripeBytes <= 0 {
+		return a
+	}
+	units := (a+stripeBytes-1)/stripeBytes + 1
+	rows := (units + int64(n-1) - 1) / int64(n-1)
+	if degraded {
+		return (rows + 1) * stripeBytes
+	}
+	load := ((units+int64(n)-1)/int64(n) + 1 + (rows+int64(n)-1)/int64(n)) * stripeBytes
+	if max := (rows + 1) * stripeBytes; load > max {
+		load = max
+	}
+	return load
+}
+
+// shapeLoad is the per-interval byte load the stream puts on one live
+// member of the shaped volume. Parity recomputes from the rate so the same
+// stream can be re-evaluated healthy or degraded; RAID-0 keeps the
+// per-member share frozen at open time (DiskBytes).
+func (s StreamParams) shapeLoad(t sim.Time, shape VolumeShape) int64 {
+	if shape.Parity {
+		a := int64(t.Seconds()*s.Rate) + s.Chunk
+		return parityDiskLoad(a, shape.StripeBytes, shape.Disks, shape.Dead > 0)
+	}
+	return s.diskLoad(t)
+}
+
+// VolumeParams converts a stream's admission parameters for the given
+// volume shape: plain striping via StripedParams, rotating parity via the
+// coalesced parity load (charged healthy at open time — a member death
+// re-evaluates the open set at the degraded charge). Identity on one disk.
+func VolumeParams(t sim.Time, par StreamParams, shape VolumeShape) StreamParams {
+	if !shape.Parity {
+		return StripedParams(t, par, shape.Disks, shape.StripeBytes)
+	}
+	a := int64(t.Seconds()*par.Rate) + par.Chunk
+	par.Disks = nil // the rotation touches every member
+	par.DiskBytes = parityDiskLoad(a, shape.StripeBytes, shape.Disks, false)
+	return par
+}
+
 // touchesDisk reports whether the stream loads member d of an n-member
 // volume.
 func (s StreamParams) touchesDisk(d int) bool {
@@ -263,14 +334,35 @@ func (s StreamParams) diskLoad(t sim.Time) int64 {
 // slowest member) and the aggregate buffer fits. With one member it is
 // exactly Admit — the single-disk test, byte for byte.
 func (a AdmissionParams) AdmitVolume(t sim.Time, budget int64, ndisks int, streams []StreamParams) error {
+	return a.AdmitShape(t, budget, VolumeShape{Disks: ndisks}, streams)
+}
+
+// AdmitShape is AdmitVolume generalized to a shaped volume. For a parity
+// shape each stream's per-member load is recomputed from its rate at the
+// shape's current health — honest degraded charging: one dead member turns
+// every logical fetch into full-row reads on all survivors, and the same
+// open set that passed the healthy test can fail the degraded one (the
+// caller then walks over-committed streams down the health ladder). Dead
+// members receive no traffic and are skipped. A non-parity shape is
+// AdmitVolume byte for byte.
+func (a AdmissionParams) AdmitShape(t sim.Time, budget int64, shape VolumeShape, streams []StreamParams) error {
+	ndisks := shape.Disks
 	if ndisks <= 0 {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 		return &AdmissionError{Interval: t, Budget: budget,
-			Reason: fmt.Sprintf("volume has %d disks", ndisks)}
+			Reason: fmt.Sprintf("volume has %d disks", ndisks)} //crasvet:allow hotalloc -- same rejection path
 	}
 	if ndisks == 1 {
 		return a.Admit(t, budget, streams)
 	}
+	live := ndisks - shape.Dead
 	for d := 0; d < ndisks; d++ {
+		if shape.Parity && shape.Dead > 0 && d >= live {
+			// One member is dead; which one does not matter to the bound —
+			// every survivor carries the same full-row degraded load, so the
+			// test runs over live "slots" rather than member identities.
+			break
+		}
 		// Each member sees, per interval, one operation per stream that
 		// touches it, moving that stream's per-member byte share: a
 		// fixed-bytes load, expressed as Chunk with zero rate so
@@ -280,20 +372,24 @@ func (a AdmissionParams) AdmitVolume(t sim.Time, budget int64, ndisks int, strea
 			if s.Cached || !s.touchesDisk(d) {
 				continue
 			}
-			sub = append(sub, StreamParams{Chunk: s.diskLoad(t)})
+			//crasvet:allow hotalloc -- admission test scratch, bounded by open streams; hot-reachable only via the once-per-member-death re-admission
+			sub = append(sub, StreamParams{Chunk: s.shapeLoad(t, shape)})
 		}
 		need, err := a.RequiredInterval(sub)
 		if err != nil {
+			//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 			return &AdmissionError{Interval: t, NeedBuffer: TotalBuffer(t, streams), Budget: budget,
-				Reason: fmt.Sprintf("disk %d: %v", d, err)}
+				Reason: fmt.Sprintf("disk %d: %v", d, err)} //crasvet:allow hotalloc -- same rejection path
 		}
 		if need > t {
+			//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 			return &AdmissionError{NeedInterval: need, Interval: t,
 				NeedBuffer: TotalBuffer(t, streams), Budget: budget,
-				Reason: fmt.Sprintf("interval time too short for stream set (disk %d)", d)}
+				Reason: fmt.Sprintf("interval time too short for stream set (disk %d)", d)} //crasvet:allow hotalloc -- same rejection path
 		}
 	}
 	if buf := TotalBuffer(t, streams); buf > budget {
+		//crasvet:allow hotalloc -- rejection path; hot-reachable only via the once-per-member-death re-admission
 		return &AdmissionError{Interval: t, NeedBuffer: buf, Budget: budget,
 			Reason: "buffer memory exhausted"}
 	}

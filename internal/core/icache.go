@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -43,9 +42,25 @@ type pathCache struct {
 	createdAt int   // scheduler cycle, for deterministic eviction ties
 }
 
+// pinSearch is sort.Search specialized to the pin set: the first index
+// whose pin timestamp is >= ts. Hand-rolled because the closure a generic
+// sort.Search call captures would allocate on the per-cycle path.
+func (pc *pathCache) pinSearch(ts sim.Time) int {
+	lo, hi := 0, len(pc.pins)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pc.pins[mid].Timestamp < ts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // pinAt reports whether a pin with exactly the given timestamp exists.
 func (pc *pathCache) pinAt(ts sim.Time) bool {
-	at := sort.Search(len(pc.pins), func(i int) bool { return pc.pins[i].Timestamp >= ts })
+	at := pc.pinSearch(ts)
 	return at < len(pc.pins) && pc.pins[at].Timestamp == ts
 }
 
@@ -53,7 +68,7 @@ func (pc *pathCache) pinAt(ts sim.Time) bool {
 // Duplicates (a promoted leader re-popping a chunk the old leader pinned)
 // are refused.
 func (pc *pathCache) pinInsert(c BufferedChunk) bool {
-	at := sort.Search(len(pc.pins), func(i int) bool { return pc.pins[i].Timestamp >= c.Timestamp })
+	at := pc.pinSearch(c.Timestamp)
 	if at < len(pc.pins) && pc.pins[at].Timestamp == c.Timestamp {
 		return false
 	}
@@ -74,7 +89,7 @@ func (pc *pathCache) discardBefore(horizon sim.Time) int64 {
 		n++
 	}
 	if n > 0 {
-		pc.pins = append(pc.pins[:0], pc.pins[n:]...)
+		pc.pins = append(pc.pins[:0], pc.pins[n:]...) //crasvet:allow hotalloc -- append into pc.pins[:0]; capacity retained by construction
 		pc.bytes -= freed
 	}
 	return freed
@@ -277,7 +292,7 @@ func (s *Server) cacheAdvance(st *stream, horizon sim.Time) {
 		}
 		if !covered {
 			s.stats.CacheMisses++
-			s.cacheFallback(st, fmt.Sprintf("chunk %d not covered", idx))
+			s.cacheFallback(st, fmt.Sprintf("chunk %d not covered", idx)) //crasvet:allow hotalloc -- formats once per cache fallback, not per cycle
 			return
 		}
 		st.nextChunk++
@@ -305,7 +320,7 @@ func (s *Server) cacheStamp(st *stream, now sim.Time) {
 			leaderPassed := !s.cacheLeaderGone(st) && st.pc.leader.nextStamp > st.nextStamp
 			if s.cacheLeaderGone(st) || leaderPassed || c.Timestamp <= logical+s.cfg.Interval {
 				s.stats.CacheMisses++
-				s.cacheFallback(st, fmt.Sprintf("chunk %d missing at stamp time", st.nextStamp))
+				s.cacheFallback(st, fmt.Sprintf("chunk %d missing at stamp time", st.nextStamp)) //crasvet:allow hotalloc -- formats once per cache fallback, not per cycle
 			}
 			return // else: the leader has not produced it yet; wait a cycle
 		}
@@ -396,7 +411,7 @@ func (s *Server) cacheDetach(st *stream) {
 	}
 	for i, f := range pc.followers {
 		if f == st {
-			pc.followers = append(pc.followers[:i], pc.followers[i+1:]...)
+			pc.followers = append(pc.followers[:i], pc.followers[i+1:]...) //crasvet:allow hotalloc -- shrink-only splice; never grows past capacity
 			break
 		}
 	}
@@ -416,7 +431,7 @@ func (s *Server) cacheDissolve(pc *pathCache) {
 	pc.leader = nil
 	for i, p := range s.icache.paths {
 		if p == pc {
-			s.icache.paths = append(s.icache.paths[:i], s.icache.paths[i+1:]...)
+			s.icache.paths = append(s.icache.paths[:i], s.icache.paths[i+1:]...) //crasvet:allow hotalloc -- shrink-only splice; never grows past capacity
 			break
 		}
 	}

@@ -81,6 +81,22 @@ type RecoveryPolicy struct {
 	// past admission (or background load spiked) and shedding would not
 	// help the streams it is meant to protect. Default 3.
 	ShedAfter int
+
+	// MemberSuspectAfter is how many hard fragment failures (post-retry or
+	// watchdog-canceled) within the error window promote a parity-volume
+	// member from Healthy to Suspect. Suspect members stop receiving
+	// C-SCAN read traffic — their fragments are served by reconstruction —
+	// but keep their data. Default 3. Parity volumes only.
+	MemberSuspectAfter int
+
+	// MemberDeadAfter is how many hard failures promote a member all the
+	// way to Dead: the volume drops it from placement entirely and a
+	// rebuild must bring a replacement back. Default 6. Parity only.
+	MemberDeadAfter int
+
+	// MemberRecoverCycles is how many consecutive clean cycles demote a
+	// Suspect member back to Healthy (the fault was transient). Default 8.
+	MemberRecoverCycles int
 }
 
 func (p *RecoveryPolicy) fillDefaults(interval sim.Time) {
@@ -104,6 +120,15 @@ func (p *RecoveryPolicy) fillDefaults(interval sim.Time) {
 	}
 	if p.ShedAfter == 0 {
 		p.ShedAfter = 3
+	}
+	if p.MemberSuspectAfter == 0 {
+		p.MemberSuspectAfter = 3
+	}
+	if p.MemberDeadAfter == 0 {
+		p.MemberDeadAfter = 6
+	}
+	if p.MemberRecoverCycles == 0 {
+		p.MemberRecoverCycles = 8
 	}
 }
 
@@ -134,10 +159,16 @@ type IOStall struct {
 // promised to healthy streams — and a retry on one member can never take
 // time promised to streams on another. An oversubscribed (force-opened)
 // server has no slack and gets no retries.
+//
+// The returned slice is the Server's scratch buffer, refilled on every
+// call: use it before the next retrySpares call, do not retain it.
 func (s *Server) retrySpares() []sim.Time {
 	n := s.vol.NumDisks()
-	ops := make([]int, n)
-	bytes := make([]int64, n)
+	shape := s.volShape()
+	ops, bytes := s.spareOps, s.spareBytes
+	for d := 0; d < n; d++ {
+		ops[d], bytes[d] = 0, 0
+	}
 	for _, st := range s.streams {
 		if st.closed || st.par.Cached {
 			continue // cache-backed followers issue no steady-state reads
@@ -145,16 +176,30 @@ func (s *Server) retrySpares() []sim.Time {
 		a := int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
 		if n > 1 {
 			// A striped stream's interval fetch rotates over every member;
-			// each carries the per-member share the admission test charged.
-			a = perDiskLoad(a, s.vol.StripeBytes(), n)
+			// each carries the per-member share the admission test charged —
+			// the parity charge (degraded when a member is down) on a parity
+			// volume, the round-robin share on plain RAID-0.
+			if shape.Parity {
+				a = st.par.shapeLoad(s.cfg.Interval, shape)
+			} else {
+				a = perDiskLoad(a, s.vol.StripeBytes(), n)
+			}
 		}
 		for d := 0; d < n; d++ {
 			ops[d]++
 			bytes[d] += a
 		}
 	}
-	spares := make([]sim.Time, n)
+	spares := s.spareTimes
 	for d := 0; d < n; d++ {
+		// Scratch reuse: a fully used (or overrun) member must land on an
+		// explicit zero, not last call's leftover.
+		spares[d] = 0
+		if s.vol.Dead(d) {
+			// A dead member gets no traffic, so it has no spare to spend:
+			// nothing may be re-issued onto it.
+			continue
+		}
 		if ops[d] == 0 {
 			spares[d] = s.cfg.Interval
 			continue
@@ -186,6 +231,11 @@ func (s *Server) retryAllowed(fg *readFrag, budgets []sim.Time) bool {
 	if fg.tag.s.health != Healthy {
 		return false // degraded and worse drop failed chunks immediately
 	}
+	if s.memberSick(fg.disk) {
+		// The member itself is Suspect or worse: re-issuing onto it would
+		// feed the fault. Parity reads reroute to reconstruction instead.
+		return false
+	}
 	if fg.retries >= s.cfg.Recovery.MaxRetries {
 		return false
 	}
@@ -206,6 +256,7 @@ func (s *Server) retryAllowed(fg *readFrag, budgets []sim.Time) bool {
 // is canceled on its own member disk, so one stalled spindle cannot wedge
 // the others' queues.
 func (s *Server) watchdogScan(now sim.Time, cycle int) {
+	var budgets []sim.Time
 	for _, fg := range s.inflight {
 		age := now - fg.issuedAt
 		if age < s.cfg.Recovery.WatchdogTimeout {
@@ -219,6 +270,21 @@ func (s *Server) watchdogScan(now sim.Time, cycle int) {
 		s.stats.WatchdogCancels++
 		fg.tag.s.stats.WatchdogCancels++
 		s.deadlinePort.Send(IOStall{Cycle: cycle, Age: age})
+		// On a parity volume the abort cannot reach the I/O-done queue
+		// until this scheduler pass yields, so waiting for it costs a full
+		// cycle before reconstruction even starts — with back-to-back
+		// stalls that chains past the buffer lead. Count the member error
+		// and dispatch the XOR reconstruction now, in the same pass; the
+		// abort is then absorbed as a no-op when it lands.
+		if s.members != nil && fg.tag.gen == fg.tag.s.gen && !fg.tag.s.closed {
+			if budgets == nil {
+				budgets = s.retrySpares()
+			}
+			s.noteMemberErr(fg.disk)
+			if s.reconstructFrag(fg, budgets) {
+				fg.replaced = true
+			}
+		}
 	}
 }
 
@@ -244,7 +310,7 @@ func (s *Server) updateStreamHealth(now sim.Time) {
 			if st.windowErrs >= pol.DegradeAfter {
 				st.degradedErrs = 0
 				st.cleanCycles = 0
-				s.setHealth(st, Degraded, fmt.Sprintf("%d unrecovered read failures", st.windowErrs))
+				s.setHealth(st, Degraded, fmt.Sprintf("%d unrecovered read failures", st.windowErrs)) //crasvet:allow hotalloc -- formats once per health transition, not per cycle
 			}
 		case Degraded:
 			if errs > 0 {
@@ -253,14 +319,14 @@ func (s *Server) updateStreamHealth(now sim.Time) {
 				if st.degradedErrs >= pol.SuspendAfter {
 					st.suspendedAt = now
 					st.clock.Stop(now)
-					s.setHealth(st, Suspended, fmt.Sprintf("%d failures while degraded", st.degradedErrs))
+					s.setHealth(st, Suspended, fmt.Sprintf("%d failures while degraded", st.degradedErrs)) //crasvet:allow hotalloc -- formats once per health transition, not per cycle
 				}
 				continue
 			}
 			st.cleanCycles++
 			if st.cleanCycles >= pol.RecoverCycles {
 				st.windowErrs = 0
-				s.setHealth(st, Healthy, fmt.Sprintf("%d clean cycles", st.cleanCycles))
+				s.setHealth(st, Healthy, fmt.Sprintf("%d clean cycles", st.cleanCycles)) //crasvet:allow hotalloc -- formats once per health transition, not per cycle
 			}
 		case Suspended:
 			if now-st.suspendedAt >= pol.EvictAfter {

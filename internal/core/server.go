@@ -198,6 +198,12 @@ type Stats struct {
 	RequestsShed   int   // control RPCs refused by the overload gate
 	DrainEvictions int   // streams still open at the drain deadline
 
+	// Rotating-parity survival (member.go, parity volumes only).
+	DegradedReads         int64 // logical reads served with a member missing
+	ParityReconstructions int64 // stripe rows rebuilt by XOR to serve those reads
+	MembersDead           int   // member transitions into Dead
+	RebuildUnits          int64 // stripe rows streamed onto a replacement member
+
 	// Per-member-disk fan-out (striped volumes): raw operations and bytes
 	// issued to each member. One entry per member; a single-disk server has
 	// one entry matching ReadsIssued/BytesRead.
@@ -240,6 +246,26 @@ type Server struct {
 	cycle    int           //crasvet:confined
 	icache   intervalCache //crasvet:confined
 
+	// Member-death state machine (member.go); members is non-nil only over
+	// a parity volume. rebuildQ is fed by the I/O-done manager and drained
+	// by the scheduler, like doneQ.
+	members  []memberState //crasvet:confined
+	rebuild  *rebuildState //crasvet:confined
+	rebuildQ []rebuildAck  //crasvet:confined
+
+	// memberOps is deliberately not confined: FailMember/ReplaceMember
+	// append from the caller's context (the draining precedent) and the
+	// scheduler drains at the cycle edge.
+	memberOps []memberOp
+
+	// retrySpares scratch, sized to the member count at construction. Every
+	// caller (watchdog scan, I/O-done absorption, rebuild pacing) runs
+	// sequentially inside one scheduler pass and none retains the slice
+	// across another retrySpares call, so one set of buffers serves them all.
+	spareOps   []int      //crasvet:confined
+	spareBytes []int64    //crasvet:confined
+	spareTimes []sim.Time //crasvet:confined
+
 	// Consecutive-I/O-overrun tracking for server-wide shedding,
 	// maintained by the deadline manager thread.
 	overrunRun       int //crasvet:confined
@@ -267,6 +293,10 @@ type Server struct {
 	// degradation ladder — the client-facing notification the deadline
 	// manager emits alongside its miss warnings.
 	OnStreamHealth func(StreamHealthEvent)
+
+	// OnMemberHealth, if set, observes every transition on the per-member
+	// ladder of a parity volume (member.go).
+	OnMemberHealth func(MemberHealthEvent)
 }
 
 // NewServer starts CRAS on the kernel in the paper's standard
@@ -313,6 +343,12 @@ func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg
 	}
 	s.stats.DiskReads = make([]int64, vol.NumDisks())
 	s.stats.DiskBytes = make([]int64, vol.NumDisks())
+	s.spareOps = make([]int, vol.NumDisks())
+	s.spareBytes = make([]int64, vol.NumDisks())
+	s.spareTimes = make([]sim.Time, vol.NumDisks())
+	if vol.Parity() {
+		s.members = make([]memberState, vol.NumDisks())
+	}
 
 	// Request manager thread: accepts open/close/start/stop/seek and
 	// resolves block maps at open time (the non-real-time path). The shed
@@ -335,16 +371,20 @@ func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg
 		Period: cfg.Interval, Deadline: cfg.Interval, DeadlinePort: s.deadlinePort,
 	}, s.scheduleCycle)
 
-	// I/O-done manager thread: fields completion interrupts.
+	// I/O-done manager thread: fields completion interrupts — stream
+	// fragments and rebuild-scavenger rows alike.
 	k.NewThread("cras.iodone", cfg.IODonePrio, cfg.Quantum, func(t *rtm.Thread) {
 		for !s.stopping {
-			m := s.iodonePort.Receive(t)
-			fg, ok := m.(*readFrag)
-			if !ok {
+			switch m := s.iodonePort.Receive(t).(type) {
+			case *readFrag:
+				t.Compute(costIODone)
+				s.doneQ = append(s.doneQ, m)
+			case rebuildAck:
+				t.Compute(costIODone)
+				s.rebuildQ = append(s.rebuildQ, m)
+			default:
 				continue // shutdown wakeup
 			}
-			t.Compute(costIODone)
-			s.doneQ = append(s.doneQ, fg)
 		}
 	})
 
@@ -377,6 +417,8 @@ func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg
 				s.notifyMiss("io-stall", m.Cycle, m.Age)
 			case StreamHealthEvent:
 				s.noteHealth(m)
+			case MemberHealthEvent:
+				s.noteMember(m)
 			case LeaseExpired:
 				s.reapLease(m)
 			case rtm.DeadName:
@@ -515,18 +557,35 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	// path, so the cycle accounting below unwedges without special cases.
 	s.watchdogScan(now, cycle)
 
-	// Phase 1: absorb completions delivered by the I/O-done manager. A
-	// failed fragment of a healthy stream is re-issued on its member disk
-	// while that disk's share of the interval's spare time allows (the
-	// deadline-budgeted retry policy); past that budget the fragment is
-	// surrendered, and when its tag's last fragment lands the stream drops
-	// the affected chunks and plays on.
+	// Phase 1: absorb completions delivered by the I/O-done manager. On a
+	// plain striped volume a failed fragment of a healthy stream is
+	// re-issued on its member disk while that disk's share of the
+	// interval's spare time allows (the deadline-budgeted retry policy);
+	// past that budget the fragment is surrendered, and when its tag's
+	// last fragment lands the stream drops the affected chunks and plays
+	// on. On a parity volume retrying first would cost a full cycle per
+	// attempt — enough to miss the play-out deadline — so a failed read
+	// fragment goes straight to XOR reconstruction from the survivors,
+	// and every raw failure feeds the member health ladder immediately.
 	stamped := int64(0)
 	budgets := s.retrySpares()
 	for _, fg := range s.doneQ {
 		s.removeInflight(fg)
 		tag := fg.tag
 		live := tag.gen == tag.s.gen && !tag.s.closed
+		if fg.replaced {
+			// The watchdog counted the error and dispatched reconstruction
+			// when it canceled this fragment; its abort is just bookkeeping.
+			fg.err = nil
+		}
+		if fg.err != nil && s.members != nil {
+			s.noteMemberErr(fg.disk)
+			if live && s.reconstructFrag(fg, budgets) {
+				// Served by XOR from the survivors, inside this same
+				// barrier: the stream never sees the failure.
+				fg.err = nil
+			}
+		}
 		if live && fg.err != nil && s.retryAllowed(fg, budgets) {
 			fg.retries++
 			fg.err = nil
@@ -589,6 +648,10 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	// flag sessions whose client stopped touching them for the reaper.
 	s.updateStreamHealth(now)
 	s.scanLeases(now)
+
+	// Member ladder and rebuild scavenger (parity volumes): operator ops,
+	// health transitions, and the next spare-paced batch of rebuild rows.
+	s.memberStep(now)
 
 	// Phase 2: collect the reads for the next interval. Suspended streams
 	// stopped their clock and fetch nothing; eviction released the rest.
@@ -653,7 +716,26 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 		tag.cyc = cs
 		s.stats.ReadsIssued++
 		s.stats.BytesRead += tag.hi - tag.lo
-		for _, f := range s.vol.Fragments(tag.lba, tag.sectors) {
+		// Reads on a parity volume use the read-optimized fragment plan,
+		// which widens to survivor full-row reads when a member is dead
+		// (degraded mode — XOR reconstruction inside this batch's barrier).
+		var frags []disk.Frag
+		if !tag.s.record {
+			var recon int
+			frags, recon = s.vol.ReadFragments(tag.lba, tag.sectors)
+			if recon > 0 {
+				s.stats.DegradedReads++
+				s.stats.ParityReconstructions += int64(recon)
+			}
+		} else {
+			frags = s.vol.Fragments(tag.lba, tag.sectors)
+		}
+		for _, f := range frags {
+			if s.vol.Dead(f.Disk) {
+				// A recorder's units on the dead member are carried by the
+				// row parity the surviving writes maintain.
+				continue
+			}
 			fg := &readFrag{tag: tag, disk: f.Disk, lba: f.LBA, sectors: f.Count}
 			tag.frags = append(tag.frags, fg)
 			perDisk[f.Disk] = append(perDisk[f.Disk], fg)
@@ -663,6 +745,11 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 		}
 		tag.fragsLeft = len(tag.frags)
 		cs.remaining += len(tag.frags)
+		if tag.fragsLeft == 0 {
+			// Every fragment landed on the dead member: the write is wholly
+			// parity-carried and the tag is complete at zero disk cost.
+			tag.done = true
+		}
 	}
 	// The per-interval estimate counts each member's disk operations —
 	// Appendix C's formula (10) says "when N reads are performed" — because
@@ -811,10 +898,12 @@ func (s *Server) session(id int, now sim.Time) *stream {
 }
 
 // admit runs the admission test for a candidate stream set against the
-// server's interval, memory budget and volume. On one disk it is exactly
-// the paper's test; on a striped volume every member must pass.
+// server's interval, memory budget and volume shape. On one disk it is
+// exactly the paper's test; on a striped volume every member must pass,
+// and on a degraded parity volume every stream is charged its full-row
+// reconstruction load.
 func (s *Server) admit(set []StreamParams) error {
-	return s.cfg.Params.AdmitVolume(s.cfg.Interval, s.ramBudget(), s.vol.NumDisks(), set)
+	return s.cfg.Params.AdmitShape(s.cfg.Interval, s.ramBudget(), s.volShape(), set)
 }
 
 // admissionSet returns the StreamParams of all open streams plus extras.
@@ -895,7 +984,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		}
 		// Rate changes change R_i; re-run admission on the updated set.
 		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
-		updated = StripedParams(s.cfg.Interval, updated, s.vol.NumDisks(), s.vol.StripeBytes())
+		updated = s.volParams(updated)
 		var set []StreamParams
 		for _, other := range s.streams {
 			if other.closed || other == st {
@@ -943,7 +1032,7 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
 		Chunk: maxChunkSize(r.info),
 	}
-	par = StripedParams(s.cfg.Interval, par, s.vol.NumDisks(), s.vol.StripeBytes())
+	par = s.volParams(par)
 	// Interval cache: a playback open on a path an active stream is already
 	// playing can follow that stream, charging pinned RAM instead of disk
 	// time — provided the steady-state pin reservation fits the budget.

@@ -142,7 +142,9 @@ type readFrag struct {
 	disk      int   // member index
 	lba       int64 // member LBA
 	sectors   int
-	retries   int // times this fragment has been re-issued
+	retries   int  // times this fragment has been re-issued
+	recon     bool // XOR-reconstruction read replacing a failed member's fragment
+	replaced  bool // reconstruction dispatched at watchdog-cancel time; the abort absorbs as a no-op
 	err       error
 	req       *disk.Request // outstanding raw operation (for the watchdog)
 	issuedAt  sim.Time      // when req was (last) submitted
@@ -271,7 +273,7 @@ func (s *stream) absorbCompletions(now sim.Time) {
 	for len(s.pending) > 0 && s.pending[0].done {
 		head := s.pending[0]
 		if head.failed {
-			s.failedRanges = append(s.failedRanges, [2]int64{head.lo, head.hi})
+			s.failedRanges = append(s.failedRanges, [2]int64{head.lo, head.hi}) //crasvet:allow hotalloc -- fault path; grows only on failed reads
 		} else {
 			s.stats.BytesCompleted += head.hi - head.lo
 		}
@@ -316,7 +318,7 @@ func (s *stream) absorbCompletions(now sim.Time) {
 		kept := s.failedRanges[:0]
 		for _, fr := range s.failedRanges {
 			if fr[1] > chunks[s.nextStamp].Offset {
-				kept = append(kept, fr)
+				kept = append(kept, fr) //crasvet:allow hotalloc -- append into s.failedRanges[:0]; capacity retained by construction
 			}
 		}
 		s.failedRanges = kept

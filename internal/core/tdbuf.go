@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/sim"
 )
 
@@ -65,6 +63,22 @@ func (b *TDBuffer) SetCapacity(capacity int64) {
 // Bytes returns the bytes currently resident.
 func (b *TDBuffer) Bytes() int64 { return b.bytes }
 
+// search is sort.Search specialized to the resident set: the first index
+// whose chunk timestamp is >= ts. Hand-rolled because the closure a generic
+// sort.Search call captures would allocate on the per-cycle path.
+func (b *TDBuffer) search(ts sim.Time) int {
+	lo, hi := 0, len(b.chunks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.chunks[mid].Timestamp < ts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Len returns the number of resident chunks.
 func (b *TDBuffer) Len() int { return len(b.chunks) }
 
@@ -78,7 +92,7 @@ func (b *TDBuffer) Insert(c BufferedChunk) bool {
 		b.Overflowed++
 		return false
 	}
-	at := sort.Search(len(b.chunks), func(i int) bool { return b.chunks[i].Timestamp >= c.Timestamp })
+	at := b.search(c.Timestamp)
 	if at < len(b.chunks) && b.chunks[at].Timestamp < c.Timestamp+c.Duration {
 		b.Overlapped++
 		return false
@@ -124,7 +138,7 @@ func (b *TDBuffer) PopBefore(tdiscard sim.Time) []BufferedChunk {
 		return nil
 	}
 	popped := append([]BufferedChunk(nil), b.chunks[:n]...)
-	b.chunks = append(b.chunks[:0], b.chunks[n:]...)
+	b.chunks = append(b.chunks[:0], b.chunks[n:]...) //crasvet:allow hotalloc -- append into b.chunks[:0]; capacity retained by construction
 	return popped
 }
 
@@ -132,7 +146,7 @@ func (b *TDBuffer) PopBefore(tdiscard sim.Time) []BufferedChunk {
 // the interval cache's residency probe, distinct from Get in that it does
 // not count a hit or miss and does not mark the chunk read.
 func (b *TDBuffer) At(timestamp sim.Time) (BufferedChunk, bool) {
-	at := sort.Search(len(b.chunks), func(i int) bool { return b.chunks[i].Timestamp >= timestamp })
+	at := b.search(timestamp)
 	if at < len(b.chunks) && b.chunks[at].Timestamp == timestamp {
 		return b.chunks[at], true
 	}

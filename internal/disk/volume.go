@@ -31,6 +31,8 @@ type Volume struct {
 	disks  []*Disk
 	stripe int64    // sectors per stripe unit
 	geo    Geometry // logical geometry (the member geometry for one disk)
+	parity bool     // rotating-parity mode (parity.go); false = pure RAID-0
+	dead   []bool   // per-member dead flags; only parity volumes may set one
 }
 
 // Frag is one member disk's share of a logical sector range: the unit the
@@ -125,18 +127,31 @@ func (v *Volume) StripeSectors() int64 { return v.stripe }
 // StripeBytes returns the stripe unit in bytes.
 func (v *Volume) StripeBytes() int64 { return v.stripe * int64(v.geo.SectorSize) }
 
+// locateUnit maps a logical stripe unit to its member disk and member row.
+// RAID-0: unit u → member u mod N, row u div N. Parity: the left-symmetric
+// rotation (parity.go) — row r = u div (N-1) holds its parity on member
+// p = (N-1 - r mod N) mod N and data unit k = u mod (N-1) on (p+1+k) mod N.
+func (v *Volume) locateUnit(unit int64) (diskIdx int, row int64) {
+	n := int64(len(v.disks))
+	if !v.parity {
+		return int(unit % n), unit / n
+	}
+	nd := n - 1
+	r := unit / nd
+	p := (n - 1 - r%n) % n
+	return int((p + 1 + unit%nd) % n), r
+}
+
 // Locate maps one logical sector to its member disk and member LBA.
 func (v *Volume) Locate(lba int64) (diskIdx int, diskLBA int64) {
-	n := int64(len(v.disks))
-	unit := lba / v.stripe
-	return int(unit % n), (unit/n)*v.stripe + lba%v.stripe
+	d, row := v.locateUnit(lba / v.stripe)
+	return d, row*v.stripe + lba%v.stripe
 }
 
 // forEachUnit walks the stripe-unit slices of a logical range in logical
 // order, reporting each slice's member placement and its sector offset
 // from the start of the range.
 func (v *Volume) forEachUnit(lba int64, count int, fn func(diskIdx int, diskLBA int64, sectors int, off int64)) {
-	n := int64(len(v.disks))
 	end := lba + int64(count)
 	for cur := lba; cur < end; {
 		unit := cur / v.stripe
@@ -144,7 +159,8 @@ func (v *Volume) forEachUnit(lba int64, count int, fn func(diskIdx int, diskLBA 
 		if uend > end {
 			uend = end
 		}
-		fn(int(unit%n), (unit/n)*v.stripe+cur%v.stripe, int(uend-cur), cur-lba)
+		d, row := v.locateUnit(unit)
+		fn(d, row*v.stripe+cur%v.stripe, int(uend-cur), cur-lba)
 		cur = uend
 	}
 }
@@ -157,6 +173,9 @@ func (v *Volume) forEachUnit(lba int64, count int, fn func(diskIdx int, diskLBA 
 func (v *Volume) Fragments(lba int64, count int) []Frag {
 	if len(v.disks) == 1 {
 		return []Frag{{Disk: 0, LBA: lba, Count: count}}
+	}
+	if v.parity {
+		return v.parityFragments(lba, count)
 	}
 	type span struct {
 		lo, hi int64
@@ -198,6 +217,14 @@ func (v *Volume) Submit(r *Request) {
 	ss := v.geo.SectorSize
 	if r.Write && r.Data != nil && len(r.Data) != r.Count*ss {
 		panic(fmt.Sprintf("disk: volume %s: write payload %d bytes for %d sectors", v.name, len(r.Data), r.Count))
+	}
+	if v.parity {
+		if r.Write {
+			v.submitParityWrite(r)
+		} else {
+			v.submitParityRead(r)
+		}
+		return
 	}
 	frags := v.Fragments(r.LBA, r.Count)
 	r.Submitted = v.disks[0].eng.Now()
@@ -253,7 +280,9 @@ func (v *Volume) scatterPayload(r *Request, f Frag) []byte {
 	ss := v.geo.SectorSize
 	out := make([]byte, f.Count*ss)
 	v.forEachUnit(r.LBA, r.Count, func(d int, dlba int64, sectors int, off int64) {
-		if d != f.Disk {
+		// A parity-mode member can carry several fragments of one range;
+		// only the units inside THIS fragment belong to its payload.
+		if d != f.Disk || dlba < f.LBA || dlba >= f.LBA+int64(f.Count) {
 			return
 		}
 		copy(out[(dlba-f.LBA)*int64(ss):], r.Data[off*int64(ss):(off+int64(sectors))*int64(ss)])
@@ -326,14 +355,28 @@ func (v *Volume) PeekSector(lba int64) []byte {
 }
 
 // PokeSector writes a logical sector without disk timing (offline image
-// edit — mkfs and the movie layout run through this).
+// edit — mkfs and the movie layout run through this). On a parity volume
+// the row's parity sector is updated in the same step: parity_new =
+// parity_old XOR data_old XOR data_new, so offline edits keep every row
+// XORing to zero.
 func (v *Volume) PokeSector(lba int64, data []byte) {
 	d, dlba := v.Locate(lba)
+	if v.parity {
+		p := v.ParityDisk(dlba / v.stripe)
+		old := v.disks[d].PeekSector(dlba)
+		psec := v.disks[p].PeekSector(dlba)
+		for i := range psec {
+			psec[i] ^= old[i] ^ data[i]
+		}
+		v.disks[p].PokeSector(dlba, psec)
+	}
 	v.disks[d].PokeSector(dlba, data)
 }
 
 // Stats returns the members' controller statistics summed; MaxQueueDepth is
-// the worst member. Per-member breakdowns come from Disk(i).Stats().
+// the worst member. The sum hides which member is sick — per-member
+// breakdowns come from MemberStats(), which chaos assertions and the parity
+// sweep use to name the dead member.
 func (v *Volume) Stats() Stats {
 	var out Stats
 	for _, d := range v.disks {

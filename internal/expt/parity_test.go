@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParitySweepShape pins the capacity accounting the disk-death
+// extension promises: redundancy is not free but costs at most 25% of the
+// RAID-0 capacity at equal member count, a degraded volume admits no more
+// than a healthy one, and only the degraded point reconstructs.
+func TestParitySweepShape(t *testing.T) {
+	res := RunParitySweep(ParitySweepConfig{Seed: 1, Duration: 6 * time.Second})
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 4 (single, raid0, parity, degraded)", len(res.Points))
+	}
+	byMode := map[string]ParityPoint{}
+	for _, p := range res.Points {
+		byMode[p.Mode] = p
+	}
+	raid0, parity, degraded := byMode["raid0"], byMode["parity"], byMode["degraded"]
+	if parity.Admitted < 1 || raid0.Admitted < 1 {
+		t.Fatalf("sweep admitted nothing: raid0=%d parity=%d", raid0.Admitted, parity.Admitted)
+	}
+	if 4*parity.Admitted < 3*raid0.Admitted {
+		t.Errorf("healthy parity admits %d streams, more than 25%% below RAID-0's %d",
+			parity.Admitted, raid0.Admitted)
+	}
+	if parity.Admitted > raid0.Admitted {
+		t.Errorf("parity admits %d > RAID-0's %d — the rotation came out free", parity.Admitted, raid0.Admitted)
+	}
+	if degraded.Admitted > parity.Admitted {
+		t.Errorf("degraded admits %d > healthy %d", degraded.Admitted, parity.Admitted)
+	}
+	if degraded.DegradedReads == 0 || degraded.Reconstructions == 0 {
+		t.Errorf("degraded point served no reconstructed reads: %+v", degraded)
+	}
+	if parity.DegradedReads != 0 {
+		t.Errorf("healthy parity point reconstructed: %+v", parity)
+	}
+	if degraded.Util[1] != 0 {
+		t.Errorf("dead member 1 shows utilization %.2f", degraded.Util[1])
+	}
+	if degraded.IOMisses > 2*parity.Admitted {
+		t.Errorf("degraded point missed %d I/O deadlines for %d streams", degraded.IOMisses, degraded.Admitted)
+	}
+}

@@ -42,6 +42,10 @@ type Setup struct {
 	// Disks > 1.
 	StripeSectors int64
 
+	// Parity builds the volume with a rotating parity unit per stripe row
+	// (RAID-5 style; requires Disks >= 3), surviving one member's death.
+	Parity bool
+
 	FSOpts ufs.Options
 	CRAS   core.Config
 
@@ -100,7 +104,13 @@ func Build(s Setup, ready func(m *Machine)) *Machine {
 		if stripe == 0 {
 			stripe = 64 // 32 KB, one UFS block span per unit at 512 B sectors
 		}
-		v, err := disk.NewVolume("vol0", members, stripe)
+		var v *disk.Volume
+		var err error
+		if s.Parity {
+			v, err = disk.NewParityVolume("vol0", members, stripe)
+		} else {
+			v, err = disk.NewVolume("vol0", members, stripe)
+		}
 		if err != nil {
 			return &Machine{Eng: e, setupErr: err}
 		}
