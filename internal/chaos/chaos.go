@@ -97,6 +97,16 @@ type Scenario struct {
 	Share       bool
 	StaggerOpen sim.Time
 
+	// Multicast turns the workload into a batched premiere of one movie:
+	// every stream opens the same path back-to-back inside the batching
+	// window (the server gets a prefix budget), so the opens coalesce into
+	// one fan-out group led by stream 0. The campaign then asserts the
+	// batching contract: the group actually formed, a dying feed promotes
+	// its earliest member without costing survivors a frame, faults under
+	// the group fall members back to disk rather than wedge them, and a
+	// poisoned prefix is re-validated (truncated), never served.
+	Multicast bool
+
 	// LeaderCloseAt, when nonzero, closes stream 0 this long after the
 	// control thread starts — mid-overlap, so a follower must be promoted.
 	LeaderCloseAt sim.Time
@@ -214,7 +224,7 @@ func Run(sc Scenario) *Result {
 	infos := make([]*media.StreamInfo, sc.Streams)
 	var movies []lab.Movie
 	for i := range paths {
-		if sc.Share {
+		if sc.Share || sc.Multicast {
 			paths[i] = "/c00"
 			infos[i] = infos[0]
 			if i == 0 {
@@ -269,6 +279,13 @@ func Run(sc Scenario) *Result {
 	if sc.Share {
 		cfg.CacheBudget = 32 << 20
 	}
+	if sc.Multicast {
+		// A window wide enough that the back-to-back opens batch, and a
+		// prefix budget that funds both the fan-out reservations and the
+		// pins the popularity tracker earns.
+		cfg.BatchWindow = time.Second
+		cfg.PrefixBudget = 16 << 20
+	}
 	if sc.OpenFlood > 0 || sc.SeekStorm > 0 {
 		cfg.MaxRequestsPerCycle = 4 // make the shed gate / deferral bite
 	}
@@ -322,9 +339,11 @@ func Run(sc Scenario) *Result {
 			if sc.Victim {
 				ext := players[0].h.ExtentMap().Extents
 				from, last := ext[1], ext[len(ext)-1]
-				if sc.Share && len(ext) > 4 {
+				if (sc.Share || sc.Multicast) && len(ext) > 4 {
 					// Leave the shared file's tail clean: the leader must
 					// die over the region while followers survive past it.
+					// For a multicast group the bounded region also lands
+					// squarely under the pinned prefix (the file's head).
 					last = ext[3]
 				}
 				region := disk.BadRegion{
@@ -358,7 +377,7 @@ func Run(sc Scenario) *Result {
 			m.Vol.Disk(sc.FaultDisk).SetFaultModel(model)
 			spawn(0)
 			for i := 1; i < len(players); i++ {
-				if sc.Share && sc.StaggerOpen > 0 {
+				if (sc.Share || sc.Multicast) && sc.StaggerOpen > 0 {
 					th.Sleep(sc.StaggerOpen)
 				}
 				if !open(i) {
@@ -607,9 +626,10 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 			r.violate("victim stream still healthy over a persistent bad region")
 		}
 		for _, p := range r.Players[1:] {
-			// Under Share the peers view the victim's own poisoned file, so
-			// losing its bad region is their expected fate too.
-			if p.Lost != 0 && !r.Scenario.Share {
+			// Under Share or Multicast the peers view the victim's own
+			// poisoned file, so losing its bad region is their expected
+			// fate too.
+			if p.Lost != 0 && !r.Scenario.Share && !r.Scenario.Multicast {
 				r.violate("%s: healthy peer lost %d frames while the victim degraded", p.Path, p.Lost)
 			}
 		}
@@ -653,12 +673,55 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		if r.Scenario.DrainAfter > 0 {
 			continue // frames past the drain deadline are forfeit by design
 		}
-		if p.Lost > p.Frames/2 && !(r.Scenario.Share && r.Scenario.Victim) {
+		sharedVictim := (r.Scenario.Share || r.Scenario.Multicast) && r.Scenario.Victim
+		if p.Lost > p.Frames/2 && !sharedVictim {
 			r.violate("%s: lost %d/%d frames — server effectively down", p.Path, p.Lost, p.Frames)
 		}
 	}
 
+	r.checkMulticast()
 	r.checkMisbehavior(m)
+}
+
+// checkMulticast asserts the batching contract: the premiere workload really
+// coalesced into a fan-out group, and the scripted disturbance came off the
+// group the contractual way — promotion for a dying feed, disk fallback (and
+// a re-validated prefix) for a fault under the shared supply, a bounded
+// group census under an open flood.
+func (r *Result) checkMulticast() {
+	sc := r.Scenario
+	if !sc.Multicast {
+		return
+	}
+	if r.Server.MulticastGroups == 0 {
+		r.violate("multicast scenario formed no group")
+	}
+	if r.Server.MulticastAttached == 0 {
+		r.violate("multicast scenario attached no fan-out member")
+	}
+	if sc.CrashAt > 0 && r.Server.MulticastPromotions == 0 {
+		r.violate("feed died at %v but no member was promoted", sc.CrashAt)
+	}
+	if sc.Victim {
+		if r.Server.MulticastFallbacks == 0 {
+			r.violate("fault under the group but no member fell back to disk")
+		}
+		if r.Server.PrefixPaths == 0 {
+			r.violate("hot path never qualified for a pinned prefix")
+		}
+		if r.Server.PrefixTruncated == 0 {
+			r.violate("producer lost chunks under the prefix head but the pin was never re-validated (truncated)")
+		}
+	}
+	if sc.OpenFlood > 0 {
+		// The flood hammers the one hot path; however many one-shot clients
+		// trickle through admission, they must batch onto the playing title's
+		// group generations rather than mint a group per open.
+		if bound := 2 + r.FloodAdmitted/2; r.Server.MulticastGroups > bound {
+			r.violate("open flood minted %d multicast groups (%d admitted; want <= %d)",
+				r.Server.MulticastGroups, r.FloodAdmitted, bound)
+		}
+	}
 }
 
 // checkParity asserts the recovery contract of a rotating-parity volume:
@@ -916,6 +979,32 @@ func Campaign(base int64) []Scenario {
 			Streams: 2, ZeroLoss: true,
 			Disks: 4, FaultDisk: 2, Parity: true,
 			Faults: disk.FaultConfig{StallProb: 1, MaxStalls: 2},
+		},
+	)
+	// Multicast batching drills: the batched-premiere contract under a
+	// leader whose client dies mid-play (the earliest member must be
+	// promoted and survivors lose nothing), an open flood of the hot title
+	// (shedding stays honest and the group census stays bounded), and a
+	// persistent bad region under the pinned prefix (members fall back to
+	// disk and the poisoned pin is re-validated, never served). All at two
+	// streams so Quick keeps them.
+	out = append(out,
+		Scenario{
+			Name: "mcast-leader-crash/s2", Seed: base*1000 + 110,
+			Streams: 2, ZeroLoss: true,
+			Multicast: true,
+			CrashAt:   3500 * time.Millisecond,
+		},
+		Scenario{
+			Name: "mcast-open-flood/s2", Seed: base*1000 + 111,
+			Streams: 2, ZeroLoss: true,
+			Multicast: true,
+			OpenFlood: 64, FloodQueueCap: 4,
+		},
+		Scenario{
+			Name: "mcast-prefix-fault/s2", Seed: base*1000 + 112,
+			Streams:   2,
+			Multicast: true, Victim: true,
 		},
 	)
 	// Member death and resurrection: one member of a four-disk parity

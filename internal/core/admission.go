@@ -45,6 +45,14 @@ type StreamParams struct {
 	Cached     bool  // served from the interval cache, not the disk
 	CacheBytes int64 // pinned-interval charge while Cached
 
+	// A multicast fan-out member (multicast.go) is charged like a cache
+	// follower but from the group's feed: zero disk operations, and
+	// FanoutBytes — the join lag plus a double-buffer window at its rate —
+	// instead of B_i. FanoutBytes is never smaller than B_i, so a member
+	// falling back to a plain stream never increases the admission memory.
+	Multicast   bool  // served by group fan-out, not the disk
+	FanoutBytes int64 // fan-out buffer charge while Multicast
+
 	Disks     []int // member disks the stream loads (nil = all members)
 	DiskBytes int64 // per-member bytes per interval when striped (0 = full A_i)
 }
@@ -126,13 +134,14 @@ func (a AdmissionParams) TotalOverhead(n int) sim.Time {
 // T >= (O_total*D + C_total) / (D - R_total). It returns an error when the
 // aggregate rate meets or exceeds the disk rate (no interval suffices).
 func (a AdmissionParams) RequiredInterval(streams []StreamParams) (sim.Time, error) {
-	// Cache-backed streams read nothing from the disk: they contribute no
-	// rate, no chunk slack and no per-operation overhead to the batch.
+	// Cache-backed and fan-out-member streams read nothing from the disk:
+	// they contribute no rate, no chunk slack and no per-operation overhead
+	// to the batch.
 	n := 0
 	var rTotal float64
 	var cTotal int64
 	for _, s := range streams {
-		if s.Cached {
+		if s.Cached || s.Multicast {
 			continue
 		}
 		n++
@@ -157,14 +166,19 @@ func BufferPerStream(t sim.Time, s StreamParams) int64 {
 	return 2 * (int64(t.Seconds()*s.Rate) + s.Chunk)
 }
 
-// TotalBuffer is B_total, formula (8), extended for the interval cache: a
-// cache-backed stream charges its pinned interval (CacheBytes) instead of
-// the double-buffer B_i.
+// TotalBuffer is B_total, formula (8), extended for the interval cache and
+// multicast fan-out: a cache-backed stream charges its pinned interval
+// (CacheBytes) and a fan-out member its group reservation (FanoutBytes)
+// instead of the double-buffer B_i.
 func TotalBuffer(t sim.Time, streams []StreamParams) int64 {
 	var total int64
 	for _, s := range streams {
 		if s.Cached {
 			total += s.CacheBytes
+			continue
+		}
+		if s.Multicast {
+			total += s.FanoutBytes
 			continue
 		}
 		total += BufferPerStream(t, s)
@@ -369,7 +383,7 @@ func (a AdmissionParams) AdmitShape(t sim.Time, budget int64, shape VolumeShape,
 		// RequiredInterval solves formula (1) for this member.
 		var sub []StreamParams
 		for _, s := range streams {
-			if s.Cached || !s.touchesDisk(d) {
+			if s.Cached || s.Multicast || !s.touchesDisk(d) {
 				continue
 			}
 			//crasvet:allow hotalloc -- admission test scratch, bounded by open streams; hot-reachable only via the once-per-member-death re-admission

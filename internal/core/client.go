@@ -171,6 +171,16 @@ func (h *Handle) StreamStats() StreamStats { return h.st.stats }
 // state directly; it turns false for good once the stream falls back.
 func (h *Handle) CacheBacked() bool { return h.st.cached }
 
+// MulticastMember reports whether the session is currently served by a
+// multicast group's fan-out rather than its own disk reads. Like Get, it
+// reads shared state directly; it turns false for good once the member
+// falls back to disk or is promoted to the group's feed.
+func (h *Handle) MulticastMember() bool { return h.st.mcastMember }
+
+// PrefixStarted reports whether the session's playback head was served
+// from the pinned prefix cache at open time.
+func (h *Handle) PrefixStarted() bool { return h.st.prefixStart }
+
 // Health returns the session's position on the degradation ladder. Like
 // Get, it reads shared state directly and may be called from any engine
 // context; a ladder transition also arrives via Server.OnStreamHealth.

@@ -41,6 +41,13 @@ func (c *LogicalClock) Start(now, startAt sim.Time) {
 	c.running = true
 }
 
+// PendingStart reports whether the clock is armed but not yet advancing:
+// running with its anchor still in the future — the initial-delay window
+// between crs_play and the first frame's deadline.
+func (c *LogicalClock) PendingStart(now sim.Time) bool {
+	return c.running && now < c.anchor
+}
+
 // Stop freezes the clock at its value at real time now.
 func (c *LogicalClock) Stop(now sim.Time) {
 	c.logical = c.At(now)

@@ -72,7 +72,7 @@ func (pc *pathCache) pinInsert(c BufferedChunk) bool {
 	if at < len(pc.pins) && pc.pins[at].Timestamp == c.Timestamp {
 		return false
 	}
-	pc.pins = append(pc.pins, BufferedChunk{})
+	pc.pins = append(pc.pins, BufferedChunk{}) //crasvet:allow hotalloc -- pin-set insert; capacity retained, bounded by the cache budget
 	copy(pc.pins[at+1:], pc.pins[at:])
 	pc.pins[at] = c
 	pc.bytes += c.Size
@@ -105,10 +105,11 @@ type intervalCache struct {
 }
 
 // ramBudget is the admission test's memory bound: the stream buffer budget
-// plus the interval cache's, since TotalBuffer charges cache-backed streams
-// their pinned interval against the same pool.
+// plus the interval cache's plus the multicast prefix budget, since
+// TotalBuffer charges cache-backed streams their pinned interval and
+// fan-out members their FanoutBytes against the same pool.
 func (s *Server) ramBudget() int64 {
-	return s.cfg.BufferBudget + s.cfg.CacheBudget
+	return s.cfg.BufferBudget + s.cfg.CacheBudget + s.cfg.PrefixBudget
 }
 
 // cacheCandidate finds the stream a new open on path could follow: the
@@ -127,7 +128,7 @@ func (s *Server) cacheCandidate(r openReq) *stream {
 		}
 	}
 	for _, st := range s.streams {
-		if st.closed || st.record || st.cached || st.name != r.path {
+		if st.closed || st.record || st.cached || st.mcastMember || st.name != r.path {
 			continue
 		}
 		if s.cacheEligible(st, r) {
@@ -135,6 +136,26 @@ func (s *Server) cacheCandidate(r openReq) *stream {
 		}
 	}
 	return nil
+}
+
+// cachePlan evaluates the interval-cache option for an open: the leader to
+// follow, the pin reservation to hold, and par with the Cached charge
+// applied — or (nil, 0, par) unchanged when no eligible leader fits the
+// budget. handleOpen calls it directly and again when the multicast rung
+// of the admission ladder fails.
+func (s *Server) cachePlan(r openReq, now sim.Time, par StreamParams) (*stream, int64, StreamParams) {
+	leader := s.cacheCandidate(r)
+	if leader == nil {
+		return nil, 0, par
+	}
+	gap := s.cacheGap(leader, now)
+	reservation := s.cachePinReservation(gap, par)
+	if s.icache.committed+reservation > s.icache.budget || gap >= r.info.TotalDuration() {
+		return nil, 0, par
+	}
+	par.Cached = true
+	par.CacheBytes = s.cacheCharge(gap, par)
+	return leader, reservation, par
 }
 
 // cacheEligible checks that a leader can supply the follower described by
@@ -392,7 +413,7 @@ func (s *Server) cacheFallback(st *stream, reason string) {
 	st.nextChunk = st.nextStamp
 	st.setFetchPoint(st.nextStamp)
 	s.stats.CacheFallbacks++
-	s.k.Engine().Tracef("cras: cache fallback stream %d on %s at chunk %d: %s",
+	s.k.Engine().Tracef("cras: cache fallback stream %d on %s at chunk %d: %s", //crasvet:allow hotalloc -- formats once per fallback, not per cycle
 		st.id, st.name, st.nextStamp, reason)
 }
 
@@ -493,7 +514,7 @@ func (s *Server) cacheOnClose(st *stream, now sim.Time) {
 	next.nextChunk = next.nextStamp
 	next.setFetchPoint(next.nextStamp)
 	s.stats.CachePromotions++
-	s.k.Engine().Tracef("cras: cache promote stream %d to leader on %s (leader %d closed, %d followers remain)",
+	s.k.Engine().Tracef("cras: cache promote stream %d to leader on %s (leader %d closed, %d followers remain)", //crasvet:allow hotalloc -- formats once per promotion, not per cycle
 		next.id, pc.path, st.id, len(pc.followers))
 	if len(pc.followers) == 0 && pc.bytes == 0 {
 		s.cacheDissolve(pc)

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Multicast batched opens + pinned prefix cache (after Jayarekha & Nair's
+// multicast-prefix admission policy and Gopalakrishnan Nair & Jayarekha's
+// dynamic-buffer prefix work): opens for the same path that arrive within
+// the batching window coalesce into one multicast group fed by a single
+// set of disk ops. The group's feed is an ordinary disk-fed stream; at the
+// cycle edge, every chunk the feed stamps into its own time-driven buffer
+// is fanned out into each member's buffer too, so K viewers of a hot title
+// cost one stream's disk time. Each member keeps its own Handle, lease and
+// health ladder; its admission charge is FanoutBytes — the join lag plus a
+// double-buffer window at its rate — held against PrefixBudget, with zero
+// disk operations.
+//
+// On top of the batch rides the pinned prefix: a popularity tracker
+// (windowed open counts with exponential decay) qualifies the hottest
+// titles, and the first PrefixDuration of a qualified title is pinned
+// permanently in cache as it streams by. The prefix extends the batching
+// window — a latecomer whose missing head is covered by the pins (plus the
+// feed's still-resident chunks) is backfilled from RAM at open time, plays
+// the prefix immediately, and rides the in-flight group's fan-out from
+// there on. Prefix pins are a separate pool from the interval cache's and
+// are exempt from its largest-interval-first eviction: once pinned, a
+// prefix chunk is never released.
+//
+// Fallback mirrors the interval cache's one-way rule: a member whose feed
+// stops producing (suspended), whose feed dropped a chunk the member still
+// needs, whose fan-out buffer overflows, or that seeks or changes rate
+// reverts to plain disk fetching at its stamp point
+// within the same scheduler cycle. A closing or evicted feed promotes the
+// earliest member — every member already holds every chunk the feed fanned
+// out, so survivors lose nothing while the promoted feed's first disk
+// batch is in flight.
+
+// popHalfLife is the popularity tracker's decay half-life: an open counts
+// half as much toward prefix qualification after this long.
+const popHalfLife = 2 * time.Minute
+
+// popEntry is one path's decayed open count. Decay is applied per entry
+// from its own last-open time, so the bookkeeping involves no map
+// iteration and stays deterministic.
+type popEntry struct {
+	path  string
+	count float64
+	at    sim.Time
+}
+
+// prefixPin is one title's pinned prefix: its first chunks, contiguous
+// from index 0 (pins[i] is chunk i), held permanently once pinned.
+type prefixPin struct {
+	path  string
+	pins  []BufferedChunk
+	bytes int64
+}
+
+// mcastGroup is one batch: a disk-fed feed and the member sessions its
+// stamped chunks fan out to at the cycle edge.
+type mcastGroup struct {
+	path      string
+	feed      *stream
+	members   []*stream // open order: the earliest member is promoted first
+	createdAt int       // scheduler cycle, for trace context
+}
+
+// multicastState is the server-wide third resource class beside the
+// stream-buffer and interval-cache budgets: fan-out reservations plus
+// pinned prefix bytes may never exceed PrefixBudget.
+type multicastState struct {
+	budget   int64 // PrefixBudget
+	fanout   int64 // committed member fan-out reservations
+	pinned   int64 // pinned prefix bytes across all titles
+	groups   []*mcastGroup
+	prefixes []*prefixPin
+	pop      []popEntry
+}
+
+// mcastEnabled reports whether the multicast machinery is configured on:
+// batching needs a window, and both fan-out buffers and prefix pins need
+// the budget they are charged against.
+func (s *Server) mcastEnabled() bool {
+	return s.cfg.BatchWindow > 0 && s.cfg.PrefixBudget > 0
+}
+
+// popNote records a playback open for the popularity tracker and returns
+// the path's decayed open count.
+func (s *Server) popNote(path string, now sim.Time) float64 {
+	for i := range s.mcast.pop {
+		pe := &s.mcast.pop[i]
+		if pe.path != path {
+			continue
+		}
+		age := now - pe.at
+		pe.count = pe.count*math.Exp2(-float64(age)/float64(popHalfLife)) + 1
+		pe.at = now
+		return pe.count
+	}
+	s.mcast.pop = append(s.mcast.pop, popEntry{path: path, count: 1, at: now})
+	return 1
+}
+
+// prefixFor returns the path's prefix entry, if the title has qualified.
+func (s *Server) prefixFor(path string) *prefixPin {
+	for _, pp := range s.mcast.prefixes {
+		if pp.path == path {
+			return pp
+		}
+	}
+	return nil
+}
+
+// prefixQualify marks a title hot enough to deserve a pinned prefix,
+// creating its (empty) entry and pointing every open stream of the path at
+// it so their per-cycle stamping can grow the pins.
+func (s *Server) prefixQualify(path string) *prefixPin {
+	if pp := s.prefixFor(path); pp != nil {
+		return pp
+	}
+	pp := &prefixPin{path: path}
+	s.mcast.prefixes = append(s.mcast.prefixes, pp)
+	for _, st := range s.streams {
+		if !st.closed && !st.record && st.name == path {
+			st.ppin = pp
+		}
+	}
+	s.stats.PrefixPaths++
+	return pp
+}
+
+// prefixAdvance pins the title's head chunks as they stream through one
+// producer's buffer: contiguous from chunk 0 up to PrefixDuration of media
+// time, charged against the prefix budget, never evicted once pinned. The
+// contiguity rule is the re-validation that keeps every pinned byte a byte
+// that was actually delivered: a producer whose stamp pointer passed the
+// pin point without the chunk resident (discarded already, or its read
+// failed) left a hole and stops contributing — the next fresh open on the
+// hot path, which plays from chunk 0, picks the growth back up. Runs once
+// per cycle per producing (non-member) stream on a qualified path.
+//
+//crasvet:hotpath
+func (s *Server) prefixAdvance(st *stream, now sim.Time) {
+	pp := st.ppin
+	chunks := st.info.Chunks
+	for len(pp.pins) < len(chunks) {
+		idx := len(pp.pins)
+		c := chunks[idx]
+		if c.Timestamp >= s.cfg.PrefixDuration {
+			st.ppin = nil // prefix complete; stop probing
+			return
+		}
+		bc, ok := st.buf.At(c.Timestamp)
+		if !ok {
+			if st.nextStamp > idx {
+				st.ppin = nil // this producer left a hole under the head
+				s.stats.PrefixTruncated++
+			}
+			return // not stamped yet: retry next cycle
+		}
+		if s.mcast.fanout+s.mcast.pinned+c.Size > s.mcast.budget {
+			s.stats.PrefixRefused++
+			return
+		}
+		pp.pins = append(pp.pins, bc) //crasvet:allow hotalloc -- grows once per pinned chunk, bounded by PrefixDuration for the title's lifetime
+		pp.bytes += c.Size
+		s.mcast.pinned += c.Size
+		if s.mcast.pinned > s.stats.PrefixPinnedPeak {
+			s.stats.PrefixPinnedPeak = s.mcast.pinned
+		}
+	}
+}
+
+// mcastGap is the steady-state logical gap a member opened now will trail
+// the feed by: the feed's current clock plus the member's initial delay —
+// the interval cache's gap formula, reused because the trailing geometry
+// is the same.
+func (s *Server) mcastGap(feed *stream, now sim.Time) sim.Time {
+	return feed.clock.At(now) + s.cfg.InitialDelay
+}
+
+// mcastFanoutCharge is a member's admission charge (FanoutBytes): the join
+// lag it trails the feed by plus a double-buffer window, at its rate. It
+// is always at least B_i, so converting a member back to a plain stream
+// never increases the memory the admission test sees.
+func (s *Server) mcastFanoutCharge(gap sim.Time, par StreamParams) int64 {
+	return int64((gap+2*s.cfg.Interval).Seconds()*par.Rate) + 2*par.Chunk
+}
+
+// mcastHeadCovered reports whether every chunk the feed has already
+// stamped past is still obtainable for a new member: pinned in the title's
+// prefix, or resident in the feed's buffer. A hole (the feed dropped a
+// chunk, or its discard horizon passed the prefix's reach) refuses the
+// join — a member must be able to play from frame 0.
+func (s *Server) mcastHeadCovered(feed *stream, pp *prefixPin) bool {
+	from := 0
+	if pp != nil {
+		from = len(pp.pins)
+	}
+	for idx := from; idx < feed.nextStamp; idx++ {
+		if _, ok := feed.buf.At(feed.info.Chunks[idx].Timestamp); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mcastJoinable reports whether a new open described by r can join a group
+// fed by feed: the feed must be a healthy producer with a structurally
+// identical chunk table at the same rate, the open must fall inside the
+// batching window — or, past it, on a prefix-qualified title — and the
+// head the feed has already stamped must be fully covered.
+func (s *Server) mcastJoinable(feed *stream, r openReq, now sim.Time) bool {
+	if feed == nil || feed.closed || feed.mcastMember || !s.cacheEligible(feed, r) {
+		return false
+	}
+	pp := s.prefixFor(feed.name)
+	if now-feed.openedAt > s.cfg.BatchWindow && pp == nil {
+		return false
+	}
+	return s.mcastHeadCovered(feed, pp)
+}
+
+// mcastCandidate finds the stream a new playback open could ride as a
+// fan-out member: the feed of an existing group on the path, or a plain
+// disk stream a new group can form around. Among several joinable
+// candidates (successive batch generations of a hot title) the youngest
+// wins — it has the smallest head to backfill.
+func (s *Server) mcastCandidate(r openReq, now sim.Time) *stream {
+	if !s.mcastEnabled() || r.record {
+		return nil
+	}
+	var best *stream
+	for _, g := range s.mcast.groups {
+		if g.path == r.path && s.mcastJoinable(g.feed, r, now) {
+			if best == nil || g.feed.openedAt > best.openedAt {
+				best = g.feed
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, st := range s.streams {
+		if st.closed || st.record || st.cached || st.mg != nil || st.name != r.path {
+			continue
+		}
+		if s.mcastJoinable(st, r, now) && (best == nil || st.openedAt > best.openedAt) {
+			best = st
+		}
+	}
+	return best
+}
+
+// mcastAttach joins a newly opened stream to the feed's group as a fan-out
+// member, creating the group on first use, and backfills the member's
+// buffer with the head the feed has already stamped: prefix pins first,
+// the feed's still-resident chunks for the rest. handleOpen verified the
+// head is covered and charged par.Multicast/par.FanoutBytes.
+func (s *Server) mcastAttach(st, feed *stream, charge int64, now sim.Time) {
+	g := feed.mg
+	if g == nil {
+		g = &mcastGroup{path: feed.name, feed: feed, createdAt: s.cycle}
+		feed.mg = g
+		s.mcast.groups = append(s.mcast.groups, g)
+		s.stats.MulticastGroups++
+	}
+	g.members = append(g.members, st)
+	st.mg = g
+	st.mcastMember = true
+	st.mcastCharge = charge
+	s.mcast.fanout += charge
+
+	// The member's buffer holds the backfilled head on top of the standard
+	// window — it drains only as the member's own clock advances.
+	gap := s.mcastGap(feed, now)
+	st.buf.SetCapacity(st.buf.Capacity() + int64(gap.Seconds()*st.par.Rate) + st.par.Chunk)
+
+	pp := s.prefixFor(st.name)
+	backfilled := int64(0)
+	for idx := 0; idx < feed.nextStamp; idx++ {
+		c := st.info.Chunks[idx]
+		bc := BufferedChunk{Index: idx, Timestamp: c.Timestamp, Duration: c.Duration, Size: c.Size, StampedAt: now}
+		fromPrefix := pp != nil && idx < len(pp.pins)
+		if !fromPrefix {
+			if _, ok := feed.buf.At(c.Timestamp); !ok {
+				continue // unreachable: mcastJoinable verified coverage
+			}
+		}
+		if !st.buf.Insert(bc) {
+			continue
+		}
+		st.stats.ChunksStamped++
+		backfilled++
+		if fromPrefix {
+			st.stats.ChunksFromPrefix++
+			s.stats.PrefixHits++
+			if !st.prefixStart {
+				st.prefixStart = true
+				s.stats.PrefixStarts++
+			}
+		} else {
+			st.stats.ChunksFromGroup++
+		}
+	}
+	s.stats.ChunksStamped += backfilled
+	st.nextChunk = feed.nextStamp
+	st.nextStamp = feed.nextStamp
+	s.stats.MulticastAttached++
+	s.k.Engine().Tracef("cras: mcast attach stream %d to feed %d on %s (gap %v, head %d chunks, %d members)",
+		st.id, feed.id, g.path, feed.clock.At(now), feed.nextStamp, len(g.members))
+}
+
+// mcastFeedStep runs in phase 1 right after the feed's own stamping: fan
+// the chunks the feed just stamped out to every member's buffer. Returns
+// how many chunks were fanned out — they join the cycle's stamping cost.
+// A member whose buffer refuses a chunk falls back to disk on the spot, so
+// the loop re-checks the member list after each fan-out.
+//
+//crasvet:hotpath
+func (s *Server) mcastFeedStep(feed *stream, now sim.Time) int64 {
+	g := feed.mg
+	fanned := int64(0)
+	for i := 0; i < len(g.members); {
+		m := g.members[i]
+		if m.closed || m.health >= Suspended {
+			i++
+			continue
+		}
+		n, reason := s.mcastFanout(feed, m, now)
+		fanned += n
+		if reason != "" {
+			s.mcastFallback(m, now, reason) // splices g.members[i]
+			continue
+		}
+		i++
+	}
+	return fanned
+}
+
+// mcastFanout copies the feed's newly stamped chunks into one member's
+// buffer, mirroring the disk path's late-chunk handling so delivery timing
+// is identical to an unbatched stream. A chunk the feed dropped (read
+// failure or its own late skip) is NOT dropped for the member: the member
+// trails the feed by the join gap, so a plain disk stream in its place
+// would still fetch the chunk in time — the member falls back and does
+// exactly that. Only a chunk already behind the member's own discard line
+// is skipped, as the disk path would skip it. Reports a non-empty reason
+// when the member must leave the group — a hole under its stamp point, or
+// its buffer refusing a chunk — and the caller falls it back to disk.
+//
+//crasvet:hotpath
+func (s *Server) mcastFanout(feed, m *stream, now sim.Time) (int64, string) {
+	chunks := m.info.Chunks
+	logical := m.clock.At(now)
+	tdiscard := logical - m.buf.Jitter()
+	n := int64(0)
+	for m.nextStamp < feed.nextStamp {
+		idx := m.nextStamp
+		c := chunks[idx]
+		if c.Timestamp < logical {
+			m.stats.ChunksLate++
+			if c.Timestamp+c.Duration <= tdiscard {
+				m.nextStamp++
+				continue
+			}
+		}
+		if _, ok := feed.buf.At(c.Timestamp); !ok {
+			m.nextChunk = m.nextStamp
+			return n, "feed dropped a chunk still due for the member"
+		}
+		if !m.buf.Insert(BufferedChunk{
+			Index: idx, Timestamp: c.Timestamp, Duration: c.Duration,
+			Size: c.Size, StampedAt: now,
+		}) {
+			m.nextChunk = m.nextStamp
+			return n, "fan-out buffer overflow"
+		}
+		m.stats.ChunksStamped++
+		m.stats.ChunksFromGroup++
+		s.stats.MulticastFanout++
+		n++
+		m.nextStamp++
+	}
+	m.nextChunk = m.nextStamp
+	return n, ""
+}
+
+// mcastStampFloor is the logical clock a stream's late-skip decision
+// measures against when stamping. A plain stream skips chunks its own
+// clock has passed; a feed's buffer supplies the whole group, so it may
+// skip a chunk only when EVERY participant's clock has passed it — members
+// trail the feed by their join gap, and a chunk late for the feed is often
+// still comfortably early for them. Without the floor, a feed running
+// behind schedule (a promoted or fallen-back stream refilling its debt)
+// would drop head chunks its members still need, punching holes into the
+// fan-out that force them to disk.
+//
+//crasvet:hotpath
+func (s *Server) mcastStampFloor(st *stream, now sim.Time) sim.Time {
+	logical := st.clock.At(now)
+	g := st.mg
+	if g == nil || g.feed != st {
+		return logical
+	}
+	for _, m := range g.members {
+		if ml := m.clock.At(now); ml < logical {
+			logical = ml
+		}
+	}
+	return logical
+}
+
+// mcastFeedGone reports that a member's supply has dried up: no group, no
+// feed, or a feed that stopped producing (closed or suspended — a
+// suspended feed's clock is frozen and it fetches nothing).
+func (s *Server) mcastFeedGone(st *stream) bool {
+	g := st.mg
+	return g == nil || g.feed == nil || g.feed.closed || g.feed.health >= Suspended
+}
+
+// mcastDetach removes a member from its group, releasing its fan-out
+// reservation and restoring disk-charging admission parameters (close and
+// fallback share it). The group dissolves when the feed is gone and no
+// members remain.
+func (s *Server) mcastDetach(st *stream) {
+	g := st.mg
+	st.mg = nil
+	st.mcastMember = false
+	s.mcast.fanout -= st.mcastCharge
+	st.mcastCharge = 0
+	st.par = StreamParams{Rate: st.par.Rate, Chunk: st.par.Chunk}
+	if g == nil {
+		return
+	}
+	for i, m := range g.members {
+		if m == st {
+			g.members = append(g.members[:i], g.members[i+1:]...) //crasvet:allow hotalloc -- shrink-only splice; never grows past capacity
+			break
+		}
+	}
+	if len(g.members) == 0 && (g.feed == nil || g.feed.closed) {
+		s.mcastDissolve(g)
+	}
+}
+
+// mcastDissolve unlinks a group's feed and drops the group. Prefix pins
+// are untouched: they belong to the title, not the group, and are never
+// released.
+func (s *Server) mcastDissolve(g *mcastGroup) {
+	if g.feed != nil && g.feed.mg == g {
+		g.feed.mg = nil
+	}
+	g.feed = nil
+	for i, x := range s.mcast.groups {
+		if x == g {
+			s.mcast.groups = append(s.mcast.groups[:i], s.mcast.groups[i+1:]...) //crasvet:allow hotalloc -- shrink-only splice; never grows past capacity
+			break
+		}
+	}
+}
+
+// mcastRearm restores a disturbed session's prefill window. A group
+// participant whose supply is cut during its initial delay has consumed no
+// frames yet, but part of its delay budget is gone — the disk refetch
+// (wait for the edge, read, stamp at the next edge) can take the full
+// InitialDelay, which only an undisturbed fresh open has left. Sliding the
+// start gives it exactly a fresh open's window again: the client sees a
+// slightly longer startup, never a mid-play glitch. A session already
+// playing keeps its clock — it holds a join-gap-plus-double-buffer window
+// of fanned-out runway, which covers the one-interval switch.
+func (s *Server) mcastRearm(st *stream, now sim.Time) {
+	if st.clock.PendingStart(now) {
+		st.clock.Start(now, s.startAnchor(now))
+	}
+}
+
+// mcastFallback converts a member to plain disk fetching, mirroring the
+// interval cache's one-way fallback: roll the promise pointer back to the
+// stamp point and reposition the byte-fetch machinery there, so phase 2 of
+// the current cycle issues its reads and the switch costs at most one
+// interval. Already-stamped chunks stay in the buffer. The stream never
+// rejoins a group.
+//
+//crasvet:hotpath
+func (s *Server) mcastFallback(st *stream, now sim.Time, reason string) {
+	s.mcastDetach(st)
+	s.mcastRearm(st, now)
+	st.gen++
+	st.pending = st.pending[:0]
+	st.failedRanges = nil
+	st.nextChunk = st.nextStamp
+	st.setFetchPoint(st.nextStamp)
+	s.stats.MulticastFallbacks++
+	s.k.Engine().Tracef("cras: mcast fallback stream %d on %s at chunk %d: %s", //crasvet:allow hotalloc -- formats once per member fallback, not per cycle
+		st.id, st.name, st.nextStamp, reason)
+}
+
+// mcastBreakup falls every member of a group back to disk and dissolves
+// the group (feed seek, feed rate change): the members' clocks no longer
+// trail the feed's stamp flow, so the fan-out contract is broken.
+func (s *Server) mcastBreakup(g *mcastGroup, now sim.Time, reason string) {
+	for len(g.members) > 0 {
+		s.mcastFallback(g.members[0], now, reason)
+	}
+	s.mcastDissolve(g)
+}
+
+// mcastOnClose handles a group participant leaving (crs_close or a
+// recovery eviction). A member detaches; a feed promotes the earliest
+// member — every member already holds every chunk the feed fanned out, so
+// survivors lose nothing while the promoted feed's first disk batch is in
+// flight.
+func (s *Server) mcastOnClose(st *stream, now sim.Time) {
+	g := st.mg
+	if g == nil {
+		return
+	}
+	if g.feed != st {
+		s.mcastDetach(st)
+		return
+	}
+	g.feed = nil
+	st.mg = nil
+	if len(g.members) == 0 {
+		s.mcastDissolve(g)
+		return
+	}
+	s.mcastPromote(g, st, now)
+}
+
+// mcastPromote hands a feedless group to its earliest member: the member
+// releases its fan-out reservation, restores plain disk-charging admission
+// parameters (the departed feed freed its own B_i and disk time — the
+// interval-cache promotion precedent), and repositions its fetch machinery
+// at its stamp point so its first disk batch joins the next cycle.
+func (s *Server) mcastPromote(g *mcastGroup, old *stream, now sim.Time) {
+	next := g.members[0]
+	g.members = g.members[1:]
+	g.feed = next
+	next.mg = g
+	next.mcastMember = false
+	s.mcast.fanout -= next.mcastCharge
+	next.mcastCharge = 0
+	next.par = StreamParams{Rate: next.par.Rate, Chunk: next.par.Chunk}
+	next.gen++
+	next.pending = next.pending[:0]
+	next.failedRanges = nil
+	next.nextChunk = next.nextStamp
+	next.setFetchPoint(next.nextStamp)
+	s.mcastRearm(next, now)
+	for _, m := range g.members {
+		// The group coasts on its fanned-out runway while the new feed's
+		// first batch is in flight; a member still inside its initial delay
+		// has no such runway, so its window is re-armed like the feed's.
+		s.mcastRearm(m, now)
+	}
+	s.stats.MulticastPromotions++
+	s.k.Engine().Tracef("cras: mcast promote stream %d to feed on %s (feed %d left, %d members remain)", //crasvet:allow hotalloc -- formats once per promotion, not per cycle
+		next.id, g.path, old.id, len(g.members))
+}

@@ -170,8 +170,8 @@ func (s *Server) retrySpares() []sim.Time {
 		ops[d], bytes[d] = 0, 0
 	}
 	for _, st := range s.streams {
-		if st.closed || st.par.Cached {
-			continue // cache-backed followers issue no steady-state reads
+		if st.closed || st.par.Cached || st.par.Multicast {
+			continue // cache followers and fan-out members issue no steady-state reads
 		}
 		a := int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
 		if n > 1 {
@@ -351,6 +351,7 @@ func (s *Server) evict(st *stream, reason string) {
 	st.closed = true
 	st.gen++
 	s.cacheOnClose(st, s.k.Now())
+	s.mcastOnClose(st, s.k.Now())
 	s.setHealth(st, Evicted, reason)
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/disk"
@@ -33,6 +32,20 @@ type Config struct {
 	// leader chunks the server may hold to serve trailing streams of the
 	// same path from RAM. 0 (the default) disables caching entirely.
 	CacheBudget int64
+
+	// Multicast batching + pinned prefix cache (multicast.go), the third
+	// resource class: playback opens for the same path arriving within
+	// BatchWindow of an earlier one coalesce into one multicast group fed
+	// by a single set of disk ops, and a popularity tracker pins the first
+	// PrefixDuration of titles reaching PrefixMinOpens decayed opens
+	// permanently in RAM, so latecomers start instantly from the prefix and
+	// ride the in-flight group. Member fan-out buffers and prefix pins are
+	// charged against PrefixBudget. BatchWindow 0 or PrefixBudget 0 (the
+	// defaults) disable multicasting entirely.
+	BatchWindow    sim.Time
+	PrefixBudget   int64
+	PrefixDuration sim.Time // default 2*InitialDelay
+	PrefixMinOpens int      // default 2
 
 	// Thread placement. Quantum 0 = fixed-priority (the paper's normal
 	// configuration); a positive quantum with flattened priorities is the
@@ -109,6 +122,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.LeaseTTL == 0 {
 		c.LeaseTTL = 8 * c.Interval
+	}
+	if c.PrefixDuration == 0 {
+		c.PrefixDuration = 2 * c.InitialDelay
+	}
+	if c.PrefixMinOpens == 0 {
+		c.PrefixMinOpens = 2
 	}
 	if c.MaxRequestsPerCycle == 0 {
 		c.MaxRequestsPerCycle = 32
@@ -191,6 +210,20 @@ type Stats struct {
 	CacheBytesServed int64
 	CachePinnedPeak  int64
 
+	// Multicast batching + pinned prefix (multicast.go).
+	MulticastGroups     int   // groups formed
+	MulticastAttached   int   // streams opened as fan-out members
+	MulticastFanout     int64 // chunks copied from a feed to its members at the cycle edge
+	MulticastPromotions int   // members promoted to feed when theirs closed
+	MulticastFallbacks  int   // members converted back to disk fetching
+	MulticastRefused    int64 // joins refused because the prefix budget was full
+	PrefixPaths         int   // titles that qualified for a pinned prefix
+	PrefixStarts        int   // members whose playback head came from prefix pins
+	PrefixHits          int64 // chunks backfilled from prefix pins at join time
+	PrefixRefused       int64 // pins refused because the prefix budget was full
+	PrefixTruncated     int   // producers that left a hole under the prefix head
+	PrefixPinnedPeak    int64
+
 	// Control-plane hardening (control.go, lease.go).
 	SendsRejected  int64 // calls the bounded request port turned away at capacity
 	LeasesExpired  int   // sessions the lease scan found expired
@@ -242,9 +275,10 @@ type Server struct {
 	nextID  int         //crasvet:confined
 	doneQ   []*readFrag //crasvet:confined
 	// submitted fragments awaiting completion (watchdog scan set)
-	inflight []*readFrag   //crasvet:confined
-	cycle    int           //crasvet:confined
-	icache   intervalCache //crasvet:confined
+	inflight []*readFrag    //crasvet:confined
+	cycle    int            //crasvet:confined
+	icache   intervalCache  //crasvet:confined
+	mcast    multicastState //crasvet:confined
 
 	// Member-death state machine (member.go); members is non-nil only over
 	// a parity volume. rebuildQ is fed by the I/O-done manager and drained
@@ -265,6 +299,17 @@ type Server struct {
 	spareOps   []int      //crasvet:confined
 	spareBytes []int64    //crasvet:confined
 	spareTimes []sim.Time //crasvet:confined
+
+	// Per-cycle allocation scratch: the logical batch list and the
+	// per-member fragment lists are rebuilt every cycle into retained
+	// capacity, and completed cycleStats are recycled through a free list
+	// (safe at remaining==0: every fragment, retries included, has been
+	// finally absorbed). fragDone is the one completion closure every
+	// fragment shares — the fragment rides Request.Tag.
+	batchScratch []*readTag    //crasvet:confined
+	perDiskFrags [][]*readFrag //crasvet:confined
+	csFree       []*cycleStat  //crasvet:confined
+	fragDone     func(*disk.Request, []byte)
 
 	// Consecutive-I/O-overrun tracking for server-wide shedding,
 	// maintained by the deadline manager thread.
@@ -336,6 +381,7 @@ func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg
 	s := &Server{
 		k: k, vol: vol, cfg: cfg, resolver: resolver,
 		icache:       intervalCache{budget: cfg.CacheBudget},
+		mcast:        multicastState{budget: cfg.PrefixBudget},
 		reqPort:      k.NewBoundedPort("cras.request", cfg.RequestQueueCap),
 		iodonePort:   k.NewPort("cras.iodone"),
 		deadlinePort: k.NewPort("cras.deadline"),
@@ -346,6 +392,14 @@ func NewVolumeServerWith(k *rtm.Kernel, vol *disk.Volume, resolver Resolver, cfg
 	s.spareOps = make([]int, vol.NumDisks())
 	s.spareBytes = make([]int64, vol.NumDisks())
 	s.spareTimes = make([]sim.Time, vol.NumDisks())
+	s.perDiskFrags = make([][]*readFrag, vol.NumDisks())
+	s.fragDone = func(r *disk.Request, _ []byte) {
+		fg := r.Tag.(*readFrag)
+		fg.started = r.Started
+		fg.completed = r.Completed
+		fg.err = r.Err
+		s.iodonePort.Send(fg)
+	}
 	if vol.Parity() {
 		s.members = make([]memberState, vol.NumDisks())
 	}
@@ -505,7 +559,7 @@ const FixedFootprint = 250 << 10
 //
 //crasvet:snapshot
 func (s *Server) MemoryFootprint() int64 {
-	total := int64(FixedFootprint) + s.icache.bytes
+	total := int64(FixedFootprint) + s.icache.bytes + s.mcast.pinned
 	for _, st := range s.streams {
 		if !st.closed {
 			total += st.buf.Capacity()
@@ -525,6 +579,21 @@ func (s *Server) ActiveStreams() int {
 		}
 	}
 	return n
+}
+
+// startAnchor is the playback anchor for a clock armed at now: the initial
+// delay measured from the next cycle edge rather than from the request
+// instant. Quantizing the start to the scheduler grid keeps a fresh
+// stream's prefill at exactly one interval's fetch per cycle — the load
+// the admission test models — where an unaligned start crams up to two
+// intervals of media into the first batch, and a wave of simultaneous
+// opens (batched arrivals) overruns those cycles and starves established
+// streams. Costs at most one extra interval of startup latency, announced
+// to the client through ClockStartsAt.
+func (s *Server) startAnchor(now sim.Time) sim.Time {
+	t := s.cfg.Interval
+	edge := ((now + t - 1) / t) * t
+	return edge + s.cfg.InitialDelay
 }
 
 // Shutdown signals the server to stop (usable from any engine context).
@@ -628,13 +697,23 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			continue
 		}
 		before := st.stats.ChunksStamped
-		st.absorbCompletions(now)
+		st.absorbCompletions(now, s.mcastStampFloor(st, now))
 		if st.cached {
 			// The open order guarantees the leader was processed earlier in
 			// this loop, so chunks it discarded this cycle are already pinned.
 			s.cacheStamp(st, now)
 		}
 		stamped += st.stats.ChunksStamped - before
+		if st.mg != nil && st.mg.feed == st {
+			// Fan the feed's freshly stamped chunks out to its members at this
+			// same edge; the members' own loop iterations (they open later, so
+			// they come later in stream order) have nothing left to stamp.
+			stamped += s.mcastFeedStep(st, now)
+		}
+		if st.ppin != nil && !st.record && !st.mcastMember {
+			// Pin prefix chunks before the discard below can drop them.
+			s.prefixAdvance(st, now)
+		}
 		horizon := st.clock.At(now) - st.buf.Jitter()
 		if st.pc != nil && st.pc.leader == st {
 			s.cachePinDiscard(st, horizon, now)
@@ -656,11 +735,19 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	// Phase 2: collect the reads for the next interval. Suspended streams
 	// stopped their clock and fetch nothing; eviction released the rest.
 	horizonAt := now + 2*s.cfg.Interval
-	var batch []*readTag
+	batch := s.batchScratch[:0]
 	active := 0
 	for _, st := range s.streams {
 		if st.closed || st.health >= Suspended {
 			continue
+		}
+		if st.mcastMember && s.mcastFeedGone(st) {
+			// The feed stopped producing: fall back to disk now, so the reads
+			// join this same cycle's batch and the switch costs one interval.
+			s.mcastFallback(st, now, "feed stopped producing")
+		}
+		if st.mcastMember {
+			continue // the feed's disk ops cover the whole group
 		}
 		horizon := st.clock.At(horizonAt) + st.lead
 		if st.record {
@@ -677,7 +764,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			}
 			warm := st.fetchTargets(diskH)
 			issued += len(warm)
-			batch = append(batch, warm...)
+			batch = append(batch, warm...) //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
 			s.cacheAdvance(st, horizon)
 		}
 		if !st.cached {
@@ -686,12 +773,15 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			// costs at most one interval.
 			tags := st.fetchTargets(horizon)
 			issued += len(tags)
-			batch = append(batch, tags...)
+			batch = append(batch, tags...) //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
 		}
 		if issued > 0 {
 			active++
 		}
 	}
+	// The scratch keeps whatever capacity this cycle's batch grew to; the
+	// tags themselves are owned by their streams' pending lists.
+	s.batchScratch = batch
 
 	// CPU cost of the scheduling work itself.
 	t.Compute(costCycleBase + costPerRequest*sim.Time(len(batch)) + costPerStamp*sim.Time(stamped))
@@ -705,11 +795,11 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	// C-SCANs, but CRAS hands over a sorted batch as the paper describes);
 	// the members then service their queues in parallel, and the barrier in
 	// phase 1 completes each tag with its slowest fragment.
-	cs := &cycleStat{
-		cycle: cycle, submitted: s.k.Now(), streams: active,
-		disks: make([]diskCycle, s.vol.NumDisks()),
+	cs := s.newCycleStat(cycle, active)
+	perDisk := s.perDiskFrags
+	for d := range perDisk {
+		perDisk[d] = perDisk[d][:0]
 	}
-	perDisk := make([][]*readFrag, s.vol.NumDisks())
 	for _, tag := range batch {
 		cs.bytes += tag.hi - tag.lo
 		cs.reads++
@@ -738,7 +828,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			}
 			fg := &readFrag{tag: tag, disk: f.Disk, lba: f.LBA, sectors: f.Count}
 			tag.frags = append(tag.frags, fg)
-			perDisk[f.Disk] = append(perDisk[f.Disk], fg)
+			perDisk[f.Disk] = append(perDisk[f.Disk], fg) //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
 			dc := &cs.disks[f.Disk]
 			dc.ops++
 			dc.bytes += fg.bytes()
@@ -765,7 +855,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 		if len(frags) == 0 {
 			continue
 		}
-		sort.SliceStable(frags, func(i, j int) bool { return frags[i].lba < frags[j].lba })
+		sortFragsByLBA(frags)
 		cs.disks[d].otherDelay = s.vol.Disk(d).ActiveNonRTRemaining()
 		for _, fg := range frags {
 			s.submitFrag(fg)
@@ -776,31 +866,74 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	return !s.stopping
 }
 
+// newCycleStat takes a cycleStat off the free list (or allocates one on a
+// pool miss), with its per-member accounting zeroed.
+//
+//crasvet:hotpath
+func (s *Server) newCycleStat(cycle, active int) *cycleStat {
+	var cs *cycleStat
+	if n := len(s.csFree); n > 0 {
+		cs, s.csFree = s.csFree[n-1], s.csFree[:n-1]
+		disks := cs.disks
+		for i := range disks {
+			disks[i] = diskCycle{}
+		}
+		*cs = cycleStat{disks: disks}
+	} else {
+		cs = &cycleStat{disks: make([]diskCycle, s.vol.NumDisks())} //crasvet:allow hotalloc -- pool miss: allocates once per high-water mark of outstanding batches
+	}
+	cs.cycle = cycle
+	cs.submitted = s.k.Now()
+	cs.streams = active
+	return cs
+}
+
+// sortFragsByLBA orders one member's fragment list in ascending LBA — the
+// C-SCAN handoff order the paper describes. Stable insertion sort,
+// hand-rolled because the comparator a sort.SliceStable call captures
+// would allocate per cycle, and a member's batch is small (about one
+// fragment per stream).
+//
+//crasvet:hotpath
+func sortFragsByLBA(frags []*readFrag) {
+	for i := 1; i < len(frags); i++ {
+		f := frags[i]
+		j := i - 1
+		for j >= 0 && frags[j].lba > f.lba {
+			frags[j+1] = frags[j]
+			j--
+		}
+		frags[j+1] = f
+	}
+}
+
 // submitFrag issues (or re-issues) one raw disk operation for a fragment on
-// its member disk and registers it with the watchdog's in-flight set.
+// its member disk and registers it with the watchdog's in-flight set. The
+// request lives inside the fragment (reused across retries: the disk is
+// done with it before any re-issue) and carries the fragment on Tag, so
+// every submission shares the one completion closure built at init.
 //
 //crasvet:hotpath
 func (s *Server) submitFrag(fg *readFrag) {
-	tag := fg.tag
-	req := &disk.Request{
+	fg.reqS = disk.Request{
 		LBA: fg.lba, Count: fg.sectors, RealTime: !s.cfg.NoRTQueue,
-		Write: tag.s.record, // sparse payload: placement is what matters
-		Done: func(r *disk.Request, _ []byte) {
-			fg.started = r.Started
-			fg.completed = r.Completed
-			fg.err = r.Err
-			s.iodonePort.Send(fg)
-		},
+		Write: fg.tag.s.record, // sparse payload: placement is what matters
+		Tag:   fg,
+		Done:  s.fragDone,
 	}
-	fg.req = req
+	fg.req = &fg.reqS
 	fg.issuedAt = s.k.Now()
-	s.inflight = append(s.inflight, fg)
+	s.inflight = append(s.inflight, fg) //crasvet:allow hotalloc -- append into the watchdog scan set; capacity retained across cycles
 	s.stats.DiskReads[fg.disk]++
 	s.stats.DiskBytes[fg.disk] += fg.bytes()
-	s.vol.Disk(fg.disk).Submit(req)
+	s.vol.Disk(fg.disk).Submit(fg.req)
 }
 
 // removeInflight drops a completed fragment from the watchdog's scan set.
+// The splice preserves issue order: the watchdog cancels (and thereby
+// restarts) stalled members oldest-first, and that order must be stable for
+// the deterministic replay the chaos scenarios depend on — a swap-remove
+// would reshuffle which wedged spindle gets unblocked first.
 //
 //crasvet:hotpath
 func (s *Server) removeInflight(fg *readFrag) {
@@ -838,7 +971,7 @@ func (s *Server) finishCycleStat(cs *cycleStat) {
 			calculated = dc.calculated
 		}
 	}
-	s.stats.Accuracy = append(s.stats.Accuracy, AccuracyRecord{
+	s.stats.Accuracy = append(s.stats.Accuracy, AccuracyRecord{ //crasvet:allow hotalloc -- the accuracy history is the experiment's product (Figures 8 and 9)
 		Cycle: cs.cycle, Streams: cs.streams, Bytes: cs.bytes,
 		Actual: actual, Calculated: calculated,
 	})
@@ -846,6 +979,10 @@ func (s *Server) finishCycleStat(cs *cycleStat) {
 	if cs.lastDone > deadline {
 		s.deadlinePort.Send(IOOverrun{Cycle: cs.cycle, LateBy: cs.lastDone - deadline})
 	}
+	// remaining==0 means every fragment of every tag in this batch — retries
+	// included, which keep remaining held until their final completion — has
+	// been absorbed; nothing can touch the stat again, so it is recyclable.
+	s.csFree = append(s.csFree, cs) //crasvet:allow hotalloc -- free-list push; capacity retained across cycles
 }
 
 // ---- request manager operations ----
@@ -930,6 +1067,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		st.closed = true
 		st.gen++
 		s.cacheOnClose(st, now)
+		s.mcastOnClose(st, now)
 		if st.clientPort != nil {
 			// An orderly close needs no dead-name notification.
 			st.clientPort.NotifyDeadName(nil)
@@ -946,7 +1084,7 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		if st == nil {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
-		st.clock.Start(now, now+s.cfg.InitialDelay)
+		st.clock.Start(now, s.startAnchor(now))
 		return opResp{}
 	case stopReq:
 		st := s.session(r.id, now)
@@ -961,11 +1099,18 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
 		}
 		// A seek breaks the temporal overlap the cache relies on: a seeking
-		// follower detaches, a seeking leader strands its followers.
+		// follower detaches, a seeking leader strands its followers. The
+		// fan-out contract breaks the same way: a seeking member falls back
+		// to disk, a seeking feed breaks up its group.
 		if st.pc != nil && st.pc.leader == st {
 			s.cacheDetachAll(st.pc, "leader seeked")
 		} else if st.cached {
 			s.cacheFallback(st, "seek")
+		}
+		if st.mg != nil && st.mg.feed == st {
+			s.mcastBreakup(st.mg, now, "feed seeked")
+		} else if st.mcastMember {
+			s.mcastFallback(st, now, "seek")
 		}
 		st.clock.Seek(now, r.logical)
 		st.seekTo(r.logical)
@@ -977,10 +1122,16 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		}
 		// A rate change desynchronizes the clocks the cache pairs rely on:
 		// a leader strands its followers, a follower can no longer trail.
+		// Multicast groups desynchronize the same way.
 		if st.pc != nil && st.pc.leader == st {
 			s.cacheDetachAll(st.pc, "leader rate change")
 		} else if st.cached {
 			s.cacheFallback(st, "rate change")
+		}
+		if st.mg != nil && st.mg.feed == st {
+			s.mcastBreakup(st.mg, now, "feed rate change")
+		} else if st.mcastMember {
+			s.mcastFallback(st, now, "rate change")
 		}
 		// Rate changes change R_i; re-run admission on the updated set.
 		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
@@ -1033,26 +1184,57 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 		Chunk: maxChunkSize(r.info),
 	}
 	par = s.volParams(par)
+	// Multicast batching: a playback open on a path a batchable stream is
+	// already playing rides that stream's fan-out group, charging fan-out
+	// RAM against the prefix budget and zero disk time — provided the
+	// reservation fits beside the pinned prefixes. Every playback open
+	// also feeds the popularity tracker that qualifies prefixes.
+	var feed *stream
+	var fanCharge int64
+	if s.mcastEnabled() && !r.record {
+		// The half-open tolerance absorbs the decay an instant of age already
+		// applies: the Nth open inside the popularity window counts N-epsilon
+		// decayed opens, and it is the Nth open that should qualify.
+		if s.popNote(r.path, now)+0.5 >= float64(s.cfg.PrefixMinOpens) {
+			s.prefixQualify(r.path)
+		}
+		feed = s.mcastCandidate(r, now)
+		if feed != nil {
+			gap := s.mcastGap(feed, now)
+			fanCharge = s.mcastFanoutCharge(gap, par)
+			if s.mcast.fanout+s.mcast.pinned+fanCharge > s.mcast.budget || gap >= r.info.TotalDuration() {
+				s.stats.MulticastRefused++
+				feed = nil
+			} else {
+				par.Multicast = true
+				par.FanoutBytes = fanCharge
+			}
+		}
+	}
 	// Interval cache: a playback open on a path an active stream is already
 	// playing can follow that stream, charging pinned RAM instead of disk
 	// time — provided the steady-state pin reservation fits the budget.
-	leader := s.cacheCandidate(r)
+	var leader *stream
 	var reservation int64
-	if leader != nil {
-		gap := s.cacheGap(leader, now)
-		reservation = s.cachePinReservation(gap, par)
-		if s.icache.committed+reservation > s.icache.budget || gap >= r.info.TotalDuration() {
-			leader = nil
-		} else {
-			par.Cached = true
-			par.CacheBytes = s.cacheCharge(gap, par)
-		}
+	if feed == nil {
+		leader, reservation, par = s.cachePlan(r, now, par)
 	}
 	if !r.force {
 		for {
 			err := s.admit(s.admissionSet(par))
 			if err == nil {
 				break
+			}
+			if par.Multicast {
+				// A member whose fan-out charge does not fit may still be
+				// admissible as a cache follower or a plain disk stream —
+				// the same one-way ladder the running server walks.
+				par.Multicast = false
+				par.FanoutBytes = 0
+				feed = nil
+				s.stats.MulticastRefused++
+				leader, reservation, par = s.cachePlan(r, now, par)
+				continue
 			}
 			if par.Cached {
 				// A follower whose pinned-interval charge does not fit may
@@ -1123,8 +1305,14 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*par.Rate) + par.Chunk)
 	st.clock.SetRate(s.k.Now(), r.rate)
 	st.seekTo(0)
-	if leader != nil {
+	st.openedAt = now
+	if feed != nil {
+		s.mcastAttach(st, feed, fanCharge, now)
+	} else if leader != nil {
 		s.cacheAttach(st, leader, reservation, now)
+	}
+	if !r.record {
+		st.ppin = s.prefixFor(r.path)
 	}
 	// The session lease starts now; the per-session client port is the
 	// dead-name fast path that reaps the session the moment the client's

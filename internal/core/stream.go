@@ -10,16 +10,18 @@ import (
 
 // StreamStats aggregates per-stream activity.
 type StreamStats struct {
-	BytesScheduled  int64
-	BytesCompleted  int64
-	ChunksStamped   int64
-	ChunksLate      int64 // stamped after the logical clock had passed them
-	ChunksFailed    int64 // never stamped because their disk read failed
-	ReadsIssued     int64
-	ReadRetries     int64
-	ReadErrors      int64 // reads that failed even after the retry budget
-	WatchdogCancels int64 // stalled reads the I/O watchdog abandoned
-	ChunksFromCache int64 // chunks stamped from the interval cache, not disk
+	BytesScheduled   int64
+	BytesCompleted   int64
+	ChunksStamped    int64
+	ChunksLate       int64 // stamped after the logical clock had passed them
+	ChunksFailed     int64 // never stamped because their disk read failed
+	ReadsIssued      int64
+	ReadRetries      int64
+	ReadErrors       int64 // reads that failed even after the retry budget
+	WatchdogCancels  int64 // stalled reads the I/O watchdog abandoned
+	ChunksFromCache  int64 // chunks stamped from the interval cache, not disk
+	ChunksFromGroup  int64 // chunks fanned out from a multicast feed, not disk
+	ChunksFromPrefix int64 // chunks backfilled from the pinned prefix at join
 }
 
 // stream is the server-side state of one open continuous media session.
@@ -81,6 +83,20 @@ type stream struct {
 	pc             *pathCache
 	cacheFrom      int   // first chunk index the cache can supply
 	cachePinCharge int64 // pin-byte reservation held against the cache budget
+
+	// Multicast-batching state (see multicast.go). A fan-out member fetches
+	// nothing from disk while its group's feed copies every chunk it stamps
+	// into the member's buffer at the cycle edge; mcastMember turns false
+	// forever once the member falls back to disk or is promoted to feed. mg
+	// is set while the stream participates in a group, as feed or member.
+	// ppin is the producer-side hook growing the title's pinned prefix;
+	// openedAt anchors the batching window.
+	mg          *mcastGroup
+	mcastMember bool
+	mcastCharge int64 // fan-out reservation held against the prefix budget
+	prefixStart bool  // playback head was backfilled from prefix pins
+	ppin        *prefixPin
+	openedAt    sim.Time
 
 	// Degradation-ladder state, advanced once per cycle by the recovery
 	// engine (see recovery.go for the ladder semantics).
@@ -147,6 +163,7 @@ type readFrag struct {
 	replaced  bool // reconstruction dispatched at watchdog-cancel time; the abort absorbs as a no-op
 	err       error
 	req       *disk.Request // outstanding raw operation (for the watchdog)
+	reqS      disk.Request  // the request's storage: one embedded struct per fragment, reused across retries
 	issuedAt  sim.Time      // when req was (last) submitted
 	started   sim.Time
 	completed sim.Time
@@ -263,8 +280,12 @@ func alignUp(v, to int64) int64 { return (v + to - 1) / to * to }
 
 // absorbCompletions advances the contiguous completion watermark and stamps
 // every fully arrived chunk into the time-driven buffer. now is the real
-// time of the stamping cycle.
-func (s *stream) absorbCompletions(now sim.Time) {
+// time of the stamping cycle. floor is the logical clock the late-skip
+// decision measures against — the stream's own clock for a plain stream,
+// the group's minimum clock for a multicast feed (its stamped chunks
+// supply every member, and members trail it by their join gap, so a chunk
+// late for the feed can still be due for a member).
+func (s *stream) absorbCompletions(now, floor sim.Time) {
 	watermark := s.fetchedUpTo
 	// The watermark is the high byte of the completed prefix of pending
 	// reads (reads were issued in file order). Failed reads still advance
@@ -284,7 +305,10 @@ func (s *stream) absorbCompletions(now sim.Time) {
 	}
 	chunks := s.info.Chunks
 	logical := s.clock.At(now)
-	tdiscard := logical - s.buf.Jitter()
+	if floor > logical {
+		floor = logical
+	}
+	tdiscard := floor - s.buf.Jitter()
 	for s.nextStamp < s.nextChunk && s.nextStamp < len(chunks) {
 		c := chunks[s.nextStamp]
 		if c.Offset+c.Size > watermark {

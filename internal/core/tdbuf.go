@@ -37,6 +37,11 @@ type TDBuffer struct {
 	GetMisses   int64
 	LateDiscard int64 // chunks that were never read before discard
 	read        map[int]bool
+
+	// popScratch backs PopBefore's return value: valid until the next
+	// PopBefore call, which every caller respects (the popped chunks are
+	// consumed inside one scheduler pass).
+	popScratch []BufferedChunk
 }
 
 // NewTDBuffer creates a buffer with the given byte capacity and jitter
@@ -101,7 +106,7 @@ func (b *TDBuffer) Insert(c BufferedChunk) bool {
 		b.Overlapped++
 		return false
 	}
-	b.chunks = append(b.chunks, BufferedChunk{})
+	b.chunks = append(b.chunks, BufferedChunk{}) //crasvet:allow hotalloc -- resident-set insert; capacity retained, bounded by the buffer's byte capacity
 	copy(b.chunks[at+1:], b.chunks[at:])
 	b.chunks[at] = c
 	b.bytes += c.Size
@@ -137,9 +142,9 @@ func (b *TDBuffer) PopBefore(tdiscard sim.Time) []BufferedChunk {
 	if n == 0 {
 		return nil
 	}
-	popped := append([]BufferedChunk(nil), b.chunks[:n]...)
-	b.chunks = append(b.chunks[:0], b.chunks[n:]...) //crasvet:allow hotalloc -- append into b.chunks[:0]; capacity retained by construction
-	return popped
+	b.popScratch = append(b.popScratch[:0], b.chunks[:n]...) //crasvet:allow hotalloc -- append into popScratch[:0]; capacity retained by construction
+	b.chunks = append(b.chunks[:0], b.chunks[n:]...)         //crasvet:allow hotalloc -- append into b.chunks[:0]; capacity retained by construction
+	return b.popScratch
 }
 
 // At returns the resident chunk with exactly the given timestamp, if any —

@@ -24,6 +24,7 @@ type PlayerStats struct {
 	Frames      int
 	Obtained    int
 	Lost        int
+	LostAt      []int // frame indices of lost frames (diagnostics)
 	Bytes       int64 // bytes of all obtained frames
 	OnTimeBytes int64 // bytes of frames obtained within the tolerance
 	Span        sim.Time

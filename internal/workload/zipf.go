@@ -56,6 +56,8 @@ type ViewerOutcome struct {
 	At          sim.Time // scripted arrival time
 	Admitted    bool
 	CacheBacked bool // at open; may drop to disk later (see Stats)
+	Multicast   bool // opened as a multicast fan-out member
+	PrefixStart bool // first frames backfilled from the pinned prefix
 	Stats       PlayerStats
 }
 
@@ -143,6 +145,7 @@ func playViewer(k *rtm.Kernel, th *rtm.Thread, h *core.Handle,
 			}
 			if k.Now() >= limit {
 				stats.Lost++
+				stats.LostAt = append(stats.LostAt, i)
 				break
 			}
 			th.Sleep(cfg.Poll)
