@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	craschaos                     # full campaign (43 scenarios)
+//	craschaos                     # full campaign (46 scenarios)
 //	craschaos -quick              # CI subset (one stream count per kind)
 //	craschaos -seed 7             # re-derive the campaign from another seed
 //	craschaos -only stall         # scenarios whose name contains "stall"
@@ -69,7 +69,7 @@ func main() {
 			fmt.Printf("     faults=%+v retries=%d denied=%d cancels=%d ladder=%d %s\n",
 				res.Faults, res.Server.ReadRetries, res.Server.RetriesDenied,
 				res.Server.WatchdogCancels, len(res.Ladder), playerSummary(res))
-			fmt.Printf("     replay: go run ./cmd/craschaos -seed %d -only '%s'\n", *seed, sc.Name)
+			fmt.Printf("     replay: %sgo run ./cmd/craschaos -seed %d -only '%s'\n", sc.ReplayEnv(), *seed, sc.Name)
 			continue
 		}
 		if *verbose {

@@ -1,6 +1,7 @@
 package cras
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/lab"
@@ -219,6 +220,38 @@ var (
 	BackgroundReader = workload.BackgroundReader
 	RawScanner       = workload.RawScanner
 	CPUHog           = workload.CPUHog
+)
+
+// ---- sharded cluster ----
+
+// Cluster is the front door over N complete CRAS nodes: popularity-aware
+// placement and consistent-hash routing with cluster-wide admission, a
+// Healthy→Suspect→Dead node ladder, stamp-point failover, and zero-loss
+// drain migration. ClusterSession is a viewer's cluster-level session,
+// surviving node death and drain behind a stable handle.
+type (
+	Cluster         = cluster.Cluster
+	ClusterConfig   = cluster.Config
+	ClusterSession  = cluster.Session
+	ClusterStats    = cluster.Stats
+	NodeHealth      = cluster.NodeHealth
+	NodeHealthEvent = cluster.NodeHealthEvent
+	FailoverError   = cluster.FailoverError
+)
+
+// Node ladder positions.
+const (
+	NodeHealthy = cluster.NodeHealthy
+	NodeSuspect = cluster.NodeSuspect
+	NodeDead    = cluster.NodeDead
+)
+
+var (
+	// NewCluster boots N nodes on one shared engine and calls ready from
+	// engine context once routing and health monitoring are armed.
+	NewCluster = cluster.New
+	// ErrFailover is the sentinel every *FailoverError unwraps to.
+	ErrFailover = cluster.ErrFailover
 )
 
 // ---- NPS network engine ----

@@ -10,8 +10,10 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/lab"
@@ -144,12 +146,59 @@ type Scenario struct {
 	// no matter what the fault model was doing.
 	DrainAfter sim.Time
 	DrainGrace sim.Time
+
+	// Cluster, when > 0, runs the scenario against a sharded cluster of
+	// this many nodes instead of a single machine: Streams viewers split
+	// between one hot title (batched opens that ride a multicast group or
+	// the interval cache) and distinct cold titles spread by the hash ring.
+	// The node-level fault kinds below then afflict whole nodes, and the
+	// invariants move up a layer: displaced viewers must resume on a peer,
+	// cache/multicast-backed viewers must lose zero frames, and a planned
+	// drain must roll its node with nothing lost cluster-wide.
+	Cluster int
+
+	// NodeKillAt shuts the hot viewers' node down outright (dead-name
+	// notification drives the failover, not the heartbeat).
+	NodeKillAt sim.Time
+
+	// NodeWedgeAt freezes the hot node's scheduler while its control plane
+	// keeps answering — the gray failure only the missed-cycle heartbeat
+	// ladder can see. The node must be pronounced dead by the heartbeat
+	// while its server is demonstrably still un-stopped.
+	NodeWedgeAt sim.Time
+
+	// NodeDrainAt rolls the hot node via Cluster.DrainNode(NodeDrainGrace):
+	// planned migration, zero frames lost. NodeKill2At, when also set,
+	// kills a second (different) node mid-drain — the drain must still
+	// complete while the failover path handles the unplanned death.
+	NodeDrainAt    sim.Time
+	NodeDrainGrace sim.Time
+	NodeKill2At    sim.Time
 }
 
 // misbehaves reports whether stream 0 is scripted to abuse the server,
 // which exempts it (and only it) from the delivery assertions.
 func (sc Scenario) misbehaves() bool {
 	return sc.CrashAt > 0 || sc.GoSilentAt > 0 || sc.SeekStorm > 0
+}
+
+// ReplayEnv returns the environment assignments (trailing space included)
+// a replay command needs in front of `go run`: scenarios that exercise the
+// multicast or cluster layers pin the matching property-test seeds, so the
+// failure's whole seeded neighborhood — the scenario and the property
+// sweeps around it — replays bit-for-bit from one printed line.
+func (sc Scenario) ReplayEnv() string {
+	var parts []string
+	if sc.Multicast {
+		parts = append(parts, fmt.Sprintf("MCAST_PROP_SEED=%d", sc.Seed))
+	}
+	if sc.Cluster > 0 {
+		parts = append(parts, fmt.Sprintf("CLUSTER_PROP_SEED=%d", sc.Seed))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, " ") + " "
 }
 
 // PlayerOutcome is one stream's delivery record.
@@ -183,6 +232,10 @@ type Result struct {
 	FloodAdmitted   int
 	FloodTurnedAway int
 
+	// Cluster campaign record (Cluster > 0 scenarios).
+	ClusterStats cluster.Stats
+	NodeEvents   []cluster.NodeHealthEvent
+
 	Violations []string
 }
 
@@ -213,6 +266,10 @@ func Run(sc Scenario) *Result {
 	res := &Result{Scenario: sc}
 	if sc.Streams < 1 {
 		res.violate("scenario has no streams")
+		return res
+	}
+	if sc.Cluster > 0 {
+		runCluster(sc, res)
 		return res
 	}
 
@@ -1025,16 +1082,41 @@ func Campaign(base int64) []Scenario {
 			ReplaceAt: 8 * time.Second,
 		},
 	)
+	// Node-level fault kinds against a sharded cluster: kill one node of
+	// four mid-play (every displaced viewer resumes on a peer, the
+	// multicast/cache-backed ones without losing a frame), wedge a node's
+	// scheduler while its control plane keeps answering (only the heartbeat
+	// ladder can see it), and roll a node through DrainNode while a second
+	// node dies mid-drain. Cluster scenarios are always in Quick.
+	out = append(out,
+		Scenario{
+			Name: "cluster-kill-1of4/n4", Seed: base*1000 + 113,
+			Streams: 6, Cluster: 4, ZeroLoss: true,
+			NodeKillAt: 2500 * time.Millisecond,
+		},
+		Scenario{
+			Name: "cluster-wedge/n2", Seed: base*1000 + 114,
+			Streams: 2, Cluster: 2,
+			NodeWedgeAt: 2500 * time.Millisecond,
+		},
+		Scenario{
+			Name: "cluster-drain-race/n3", Seed: base*1000 + 115,
+			Streams: 4, Cluster: 3,
+			NodeDrainAt: 2 * time.Second, NodeDrainGrace: 10 * time.Second,
+			NodeKill2At: 2500 * time.Millisecond,
+		},
+	)
 	return out
 }
 
-// Quick returns the CI subset: one stream count per fault kind, small
-// enough for a pull-request gate yet covering every fault path.
+// Quick returns the CI subset: one stream count per fault kind plus every
+// cluster scenario, small enough for a pull-request gate yet covering
+// every fault path.
 func Quick(base int64) []Scenario {
 	all := Campaign(base)
 	var out []Scenario
 	for _, sc := range all {
-		if sc.Streams == 2 {
+		if sc.Streams == 2 || sc.Cluster > 0 {
 			out = append(out, sc)
 		}
 	}

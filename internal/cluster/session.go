@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/rtm"
+	"repro/internal/sim"
+)
+
+// Session is a viewer's connection to the cluster: a core.Handle plus the
+// failover state that lets the front door move it between nodes. The
+// viewer reads through Get exactly as against a single server; across a
+// failover or migration the previous handle's buffer stays readable, so
+// the runway it holds bridges the gap while the replacement warms up.
+type Session struct {
+	c    *Cluster
+	path string
+	info *media.StreamInfo
+	rate float64 // current effective rate (reduced after a degraded re-admit)
+
+	node *node
+	h    *core.Handle
+	prev *core.Handle // previous incarnation, kept for its readable buffer
+	gen  int          // bumped on every adopt/migrate; viewers recompute deadlines on change
+
+	posT sim.Time // next timestamp the viewer has not consumed (resume point)
+
+	started  bool
+	closed   bool
+	orphaned bool           // serving node died; failover in flight
+	refused  bool           // failover retries exhausted; the cluster gave up
+	stranded *FailoverError // last saturation verdict, nil when placed
+	reduced  int            // times re-admitted at reduced rate
+}
+
+// Path returns the title the session plays.
+func (s *Session) Path() string { return s.path }
+
+// Info returns the title's stream metadata.
+func (s *Session) Info() *media.StreamInfo { return s.info }
+
+// NodeName returns the name of the node currently serving the session.
+func (s *Session) NodeName() string { return s.node.name }
+
+// NodeID returns the id of the node currently serving the session.
+func (s *Session) NodeID() int { return s.node.id }
+
+// Gen counts re-placements: it bumps every time the session is adopted by
+// a new node, so a viewer that cached pacing state can detect the move.
+func (s *Session) Gen() int { return s.gen }
+
+// Orphaned reports a failover in flight: the serving node died and no
+// replacement has been placed yet.
+func (s *Session) Orphaned() bool { return s.orphaned }
+
+// Refused reports that the cluster exhausted its failover retries.
+func (s *Session) Refused() bool { return s.refused }
+
+// Stranded returns the saturation verdict a displaced viewer is currently
+// waiting out (nil when the session is placed): a typed *FailoverError
+// whose RetryAfter says when capacity has a real chance of having freed.
+func (s *Session) Stranded() *FailoverError { return s.stranded }
+
+// Reduced returns how many times the session was re-admitted at reduced
+// rate.
+func (s *Session) Reduced() int { return s.reduced }
+
+// Rate returns the session's current effective rate (0 means 1.0 was
+// requested and never reduced).
+func (s *Session) Rate() float64 { return s.rate }
+
+// Handle exposes the current core handle (measurements; may change across
+// failovers).
+func (s *Session) Handle() *core.Handle { return s.h }
+
+// CacheBacked reports whether the current incarnation rides the interval
+// cache.
+func (s *Session) CacheBacked() bool { return s.h.CacheBacked() }
+
+// MulticastMember reports whether the current incarnation rides a
+// multicast group's fan-out.
+func (s *Session) MulticastMember() bool { return s.h.MulticastMember() }
+
+// pos returns the viewer's resume point: the earliest timestamp it has
+// not consumed.
+func (s *Session) pos() sim.Time { return s.posT }
+
+// note advances the resume point past a consumed chunk.
+func (s *Session) note(ch core.BufferedChunk) {
+	if t := ch.Timestamp + ch.Duration; t > s.posT {
+		s.posT = t
+	}
+}
+
+// Get returns the chunk covering logical if it is resident, trying the
+// current incarnation first and the previous one second — after a node
+// death or migration the old shared buffer is plain memory and its runway
+// is still readable. Consuming advances the session's resume point, which
+// is where a failover re-opens.
+func (s *Session) Get(logical sim.Time) (core.BufferedChunk, bool) {
+	if s.h != nil {
+		if ch, ok := s.h.Get(logical); ok {
+			s.note(ch)
+			return ch, true
+		}
+	}
+	if s.prev != nil {
+		if ch, ok := s.prev.Get(logical); ok {
+			s.note(ch)
+			return ch, true
+		}
+	}
+	return core.BufferedChunk{}, false
+}
+
+// ClockStartsAt returns the real time the current incarnation's clock
+// reaches logical, or -1 when unknowable (clock stopped). While a failover
+// is in flight this is the dead incarnation's clock — still valid
+// arithmetic, and exactly the pacing the viewer consumed its runway under;
+// adoption bumps Gen and re-anchors deadlines on the replacement's clock.
+func (s *Session) ClockStartsAt(logical sim.Time) sim.Time {
+	return s.h.ClockStartsAt(logical)
+}
+
+// LogicalNow returns the current incarnation's logical clock position.
+func (s *Session) LogicalNow() sim.Time { return s.h.LogicalNow() }
+
+// Start arms playback; a later failover re-arms the replacement.
+func (s *Session) Start(th *rtm.Thread) error {
+	s.started = true
+	return s.ignoreDown(s.h.Start(th))
+}
+
+// Stop freezes playback.
+func (s *Session) Stop(th *rtm.Thread) error {
+	s.started = false
+	return s.ignoreDown(s.h.Stop(th))
+}
+
+// Close ends the session cluster-wide: the front door stops tracking it
+// and no failover will resurrect it.
+func (s *Session) Close(th *rtm.Thread) error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.c.deregister(s)
+	return s.ignoreDown(s.h.Close(th))
+}
+
+// ignoreDown swallows ErrServerDown: an RPC that raced the serving node's
+// death is moot — the failover path owns the session's fate now.
+func (s *Session) ignoreDown(err error) error {
+	if err != nil && errors.Is(err, core.ErrServerDown) {
+		return nil
+	}
+	return err
+}

@@ -17,6 +17,11 @@ type OpenOptions struct {
 	// measure what the disk actually sustains beyond the (pessimistic)
 	// admitted load; production callers should leave it false.
 	Force bool
+	// At opens the session at this logical media time instead of zero: the
+	// clock, the fetch machinery and any cache or fan-out attach all start
+	// from here. The cluster's failover and drain migration use it to
+	// resume a displaced viewer at its stamp point.
+	At sim.Time
 }
 
 // Handle is an application's connection to one continuous media session.
@@ -71,7 +76,7 @@ func (s *Server) open(th *rtm.Thread, r openReq) (*Handle, error) {
 // Unix server), runs the admission test, and sets up the shared buffer.
 // This is crs_open.
 func (s *Server) Open(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
-	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, force: opts.Force})
+	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, at: opts.At, force: opts.Force})
 }
 
 // OpenRecord establishes a constant-rate recording session: the media file
@@ -188,3 +193,42 @@ func (h *Handle) Health() StreamHealth { return h.st.health }
 
 // ExtentMap returns the session's disk layout view.
 func (h *Handle) ExtentMap() *ExtentMap { return h.st.ext }
+
+// SessionState is a session's exportable migration state: everything a
+// front door needs to re-establish the session elsewhere. The snapshot is
+// pure memory reads, so it stays readable even after the serving node has
+// shut down — exactly the situation failover needs it in.
+type SessionState struct {
+	Path        string
+	Rate        float64  // playback rate (clock rate)
+	Started     bool     // the clock has been armed by Start
+	Logical     sim.Time // logical clock position now
+	StampPoint  sim.Time // media time of the next chunk to be stamped
+	CacheBacked bool
+	Multicast   bool
+	Health      StreamHealth
+}
+
+// SessionState snapshots the session for migration. Like Get it reads
+// shared state directly and may be called from any engine context; unlike
+// Get it works against a dead server too.
+//
+//crasvet:snapshot
+func (h *Handle) SessionState() SessionState {
+	st := h.st
+	now := h.srv.k.Now()
+	stamp := st.info.TotalDuration()
+	if st.nextStamp < len(st.info.Chunks) {
+		stamp = st.info.Chunks[st.nextStamp].Timestamp
+	}
+	return SessionState{
+		Path:        st.name,
+		Rate:        st.clock.Rate(),
+		Started:     st.clock.Running(),
+		Logical:     st.clock.At(now),
+		StampPoint:  stamp,
+		CacheBacked: st.cached,
+		Multicast:   st.mcastMember,
+		Health:      st.health,
+	}
+}

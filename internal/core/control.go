@@ -166,6 +166,12 @@ func (s *Server) Drain(grace sim.Time) {
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining }
 
+// NotifyDown registers n for a dead-name notification on the server's
+// request port: when the signal handler destroys the port, n receives a
+// single rtm.DeadName message. A cluster monitor uses this to learn of a
+// node's death the instant it happens rather than on the next heartbeat.
+func (s *Server) NotifyDown(n *rtm.Port) { s.reqPort.NotifyDeadName(n) }
+
 // drainStep runs at the top of each scheduler cycle while draining. It
 // reports true when the drain has handed over to Shutdown and the
 // scheduler should exit.

@@ -148,9 +148,11 @@ func (s *Server) cachePlan(r openReq, now sim.Time, par StreamParams) (*stream, 
 	if leader == nil {
 		return nil, 0, par
 	}
-	gap := s.cacheGap(leader, now)
+	// A reopen at a later stamp point trails the leader by that much less;
+	// a non-positive gap means the opener would run ahead of the leader.
+	gap := s.cacheGap(leader, now) - r.at
 	reservation := s.cachePinReservation(gap, par)
-	if s.icache.committed+reservation > s.icache.budget || gap >= r.info.TotalDuration() {
+	if gap <= 0 || s.icache.committed+reservation > s.icache.budget || s.cacheGap(leader, now) >= r.info.TotalDuration() {
 		return nil, 0, par
 	}
 	par.Cached = true

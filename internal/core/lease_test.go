@@ -147,6 +147,71 @@ func TestReapedLeaderPromotesFollower(t *testing.T) {
 		})
 }
 
+// Regression: a multicast feed whose client goes silent is reaped by the
+// lease scan mid-play, and the reap must promote the group's earliest
+// member through the same path Close takes — the race here is the lease
+// scan evicting the feed in the same cycle the fan-out step walks the
+// group. Survivors keep playing with zero frame loss.
+func TestReapedFeedPromotesEarliestMember(t *testing.T) {
+	movie := media.MPEG1().Generate("/hot", 10*time.Second)
+	newBed(t, 16, ufs.Options{}, mcastConfig(),
+		map[string]*media.StreamInfo{"/hot": movie},
+		func(b *bed, th *rtm.Thread) {
+			feed, err := b.cras.Open(th, movie, "/hot", OpenOptions{})
+			if err != nil {
+				t.Fatalf("open feed: %v", err)
+			}
+			feed.Start(th)
+			// The feed's client now goes silent: no Get, no Renew, no Close.
+			th.Sleep(200 * time.Millisecond)
+			m1, err := b.cras.Open(th, movie, "/hot", OpenOptions{})
+			if err != nil {
+				t.Fatalf("open m1: %v", err)
+			}
+			if !m1.MulticastMember() {
+				t.Fatal("m1 did not join the feed's group")
+			}
+			m1.Start(th)
+			th.Sleep(200 * time.Millisecond)
+			m2, err := b.cras.Open(th, movie, "/hot", OpenOptions{})
+			if err != nil {
+				t.Fatalf("open m2: %v", err)
+			}
+			m2.Start(th)
+
+			var lost [2]int
+			done := [2]bool{}
+			b.k.NewThread("m1-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+				_, lost[0] = goldenPlay(b, th2, m1, 200)
+				done[0] = true
+			})
+			b.k.NewThread("m2-player", rtm.PrioRTLow, 0, func(th2 *rtm.Thread) {
+				_, lost[1] = goldenPlay(b, th2, m2, 200)
+				done[1] = true
+			})
+			for !done[0] || !done[1] {
+				th.Sleep(100 * time.Millisecond)
+			}
+			st := b.cras.Stats()
+			if st.LeasesExpired != 1 || st.SessionsReaped != 1 {
+				t.Errorf("LeasesExpired = %d, SessionsReaped = %d, want 1, 1 (the silent feed)",
+					st.LeasesExpired, st.SessionsReaped)
+			}
+			if st.MulticastPromotions != 1 {
+				t.Errorf("MulticastPromotions = %d, want 1 (reap must run the Close promotion path)",
+					st.MulticastPromotions)
+			}
+			if lost[0] != 0 || lost[1] != 0 {
+				t.Errorf("survivors lost frames across the feed reap: m1 %d, m2 %d", lost[0], lost[1])
+			}
+			if m1.MulticastMember() {
+				t.Errorf("earliest member still reports fan-out membership after promotion")
+			}
+			m1.Close(th)
+			m2.Close(th)
+		})
+}
+
 // Crash destroys the client's per-session port; the dead-name notification
 // reaps the session immediately instead of waiting out the lease.
 func TestCrashedClientReapedByDeadName(t *testing.T) {

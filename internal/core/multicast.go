@@ -192,13 +192,13 @@ func (s *Server) mcastFanoutCharge(gap sim.Time, par StreamParams) int64 {
 }
 
 // mcastHeadCovered reports whether every chunk the feed has already
-// stamped past is still obtainable for a new member: pinned in the title's
-// prefix, or resident in the feed's buffer. A hole (the feed dropped a
-// chunk, or its discard horizon passed the prefix's reach) refuses the
-// join — a member must be able to play from frame 0.
-func (s *Server) mcastHeadCovered(feed *stream, pp *prefixPin) bool {
-	from := 0
-	if pp != nil {
+// stamped past — from the joiner's start index onward — is still
+// obtainable for a new member: pinned in the title's prefix, or resident
+// in the feed's buffer. A hole (the feed dropped a chunk, or its discard
+// horizon passed the prefix's reach) refuses the join — a member must be
+// able to play every chunk from its start point.
+func (s *Server) mcastHeadCovered(feed *stream, pp *prefixPin, from int) bool {
+	if pp != nil && len(pp.pins) > from {
 		from = len(pp.pins)
 	}
 	for idx := from; idx < feed.nextStamp; idx++ {
@@ -219,10 +219,19 @@ func (s *Server) mcastJoinable(feed *stream, r openReq, now sim.Time) bool {
 		return false
 	}
 	pp := s.prefixFor(feed.name)
-	if now-feed.openedAt > s.cfg.BatchWindow && pp == nil {
+	if now-feed.openedAt > s.cfg.BatchWindow && pp == nil && r.at == 0 {
 		return false
 	}
-	return s.mcastHeadCovered(feed, pp)
+	from := 0
+	if r.at > 0 {
+		// An attach-at-stamp reopen needs coverage only from its resume
+		// point; it also joins outside the batching window — the group is
+		// the displaced viewer's own, still in flight.
+		if from = feed.info.ChunkAt(r.at); from < 0 {
+			from = 0
+		}
+	}
+	return s.mcastHeadCovered(feed, pp, from)
 }
 
 // mcastCandidate finds the stream a new playback open could ride as a
@@ -276,13 +285,14 @@ func (s *Server) mcastAttach(st, feed *stream, charge int64, now sim.Time) {
 	s.mcast.fanout += charge
 
 	// The member's buffer holds the backfilled head on top of the standard
-	// window — it drains only as the member's own clock advances.
-	gap := s.mcastGap(feed, now)
+	// window — it drains only as the member's own clock advances. A member
+	// reopened at a stamp point trails by correspondingly less.
+	gap := s.mcastGap(feed, now) - st.clock.At(now)
 	st.buf.SetCapacity(st.buf.Capacity() + int64(gap.Seconds()*st.par.Rate) + st.par.Chunk)
 
 	pp := s.prefixFor(st.name)
 	backfilled := int64(0)
-	for idx := 0; idx < feed.nextStamp; idx++ {
+	for idx := st.nextStamp; idx < feed.nextStamp; idx++ {
 		c := st.info.Chunks[idx]
 		bc := BufferedChunk{Index: idx, Timestamp: c.Timestamp, Duration: c.Duration, Size: c.Size, StampedAt: now}
 		fromPrefix := pp != nil && idx < len(pp.pins)

@@ -327,7 +327,11 @@ type Server struct {
 	draining bool
 	drainAt  sim.Time
 	stopping bool
-	stats    Stats //crasvet:confined
+	// wedged freezes the scheduler loop (fault injection: the gray-failure
+	// node whose request manager still answers while cycles stop advancing).
+	// Written from the injecting context, read by the scheduler thread.
+	wedged bool
+	stats  Stats //crasvet:confined
 
 	// OnDeadlineMiss, if set, observes every deadline event (thread
 	// overruns, I/O overruns, and watchdog-detected stalls). The default
@@ -602,12 +606,34 @@ func (s *Server) Shutdown() { s.signalPort.Send("shutdown") }
 // Stopped reports whether the signal handler has run.
 func (s *Server) Stopped() bool { return s.stopping }
 
+// CycleCount returns the number of scheduler cycles the server has
+// completed. A cluster's health monitor compares successive snapshots as a
+// heartbeat: a server whose request manager still answers but whose cycle
+// count has stopped advancing is wedged, not healthy.
+//
+//crasvet:snapshot
+func (s *Server) CycleCount() int { return s.stats.Cycles }
+
+// Wedge freezes the scheduler loop at its next cycle edge without touching
+// the request manager: the gray failure where the control plane answers but
+// no data moves. Usable from any engine context (fault injection).
+func (s *Server) Wedge() { s.wedged = true }
+
+// Unwedge releases a Wedge; the scheduler resumes on its next period.
+func (s *Server) Unwedge() { s.wedged = false }
+
 // scheduleCycle is one run of the request scheduler thread: stamp the data
 // retrieved during the previous interval into the shared buffers, discard
 // obsolete data, then issue the next interval's reads in cylinder order.
 //
 //crasvet:hotpath
 func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
+	if s.stopping {
+		return false
+	}
+	for s.wedged && !s.stopping { // injected gray failure: heartbeat stops, RPCs don't
+		t.Sleep(s.cfg.Interval)
+	}
 	if s.stopping {
 		return false
 	}
@@ -826,9 +852,9 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 				// row parity the surviving writes maintain.
 				continue
 			}
-			fg := &readFrag{tag: tag, disk: f.Disk, lba: f.LBA, sectors: f.Count}
-			tag.frags = append(tag.frags, fg)
-			perDisk[f.Disk] = append(perDisk[f.Disk], fg) //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
+			fg := &readFrag{tag: tag, disk: f.Disk, lba: f.LBA, sectors: f.Count} //crasvet:allow hotalloc -- one record per issued fragment, alive across the disk round-trip; pooling would alias the retry and watchdog paths that retain it
+			tag.frags = append(tag.frags, fg)                                     //crasvet:allow hotalloc -- bounded by one tag's member fan-out; the slice lives and dies with the tag
+			perDisk[f.Disk] = append(perDisk[f.Disk], fg)                         //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
 			dc := &cs.disks[f.Disk]
 			dc.ops++
 			dc.bytes += fg.bytes()
@@ -861,6 +887,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			s.submitFrag(fg)
 		}
 	}
+	//crasvet:allow hotalloc -- one trace summary per cycle, not per stream; keeping it is worth one boxed arg slice
 	s.k.Engine().Tracef("cras: cycle %d: %d streams, %d ops (%d fragments), %d bytes, %d chunks stamped",
 		cycle, active, len(batch), cs.remaining, cs.bytes, stamped)
 	return !s.stopping
@@ -939,7 +966,7 @@ func (s *Server) submitFrag(fg *readFrag) {
 func (s *Server) removeInflight(fg *readFrag) {
 	for i, f := range s.inflight {
 		if f == fg {
-			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...) //crasvet:allow hotalloc -- slide-down remove within the existing backing array; this append never grows
 			return
 		}
 	}
@@ -992,6 +1019,7 @@ type (
 		info   *media.StreamInfo
 		path   string
 		rate   float64
+		at     sim.Time // initial logical position (attach-at-stamp reopen)
 		force  bool
 		record bool
 	}
@@ -1178,6 +1206,12 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	if err := r.info.Validate(); err != nil {
 		return openResp{err: err}
 	}
+	if r.at < 0 || r.record {
+		r.at = 0
+	}
+	if r.at >= r.info.TotalDuration() {
+		return openResp{err: fmt.Errorf("cras: open %s at %v: past the end of the media", r.path, r.at)}
+	}
 	now := s.k.Now()
 	par := StreamParams{
 		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
@@ -1200,9 +1234,12 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 		}
 		feed = s.mcastCandidate(r, now)
 		if feed != nil {
-			gap := s.mcastGap(feed, now)
+			// A reopen at a later stamp point trails the feed by that much
+			// less; a non-positive gap means the opener would run ahead of
+			// the feed, which the fan-out cannot supply.
+			gap := s.mcastGap(feed, now) - r.at
 			fanCharge = s.mcastFanoutCharge(gap, par)
-			if s.mcast.fanout+s.mcast.pinned+fanCharge > s.mcast.budget || gap >= r.info.TotalDuration() {
+			if gap <= 0 || s.mcast.fanout+s.mcast.pinned+fanCharge > s.mcast.budget || s.mcastGap(feed, now) >= r.info.TotalDuration() {
 				s.stats.MulticastRefused++
 				feed = nil
 			} else {
@@ -1304,7 +1341,12 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	// steady-state amount per interval.
 	st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*par.Rate) + par.Chunk)
 	st.clock.SetRate(s.k.Now(), r.rate)
-	st.seekTo(0)
+	st.seekTo(r.at)
+	if r.at > 0 {
+		// Attach-at-stamp reopen: the clock holds the resume point until
+		// Start arms it, and the fetch machinery is already positioned there.
+		st.clock.Seek(now, r.at)
+	}
 	st.openedAt = now
 	if feed != nil {
 		s.mcastAttach(st, feed, fanCharge, now)

@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// The ISSUE's acceptance criterion for the sharded cluster, as a
+// regression test: under the identical seeded Zipf-1.1 viewer script, the
+// admitted population must grow 1 → 2 → 4 nodes (one node alone
+// saturates), with the placement ladder visibly riding shared capacity and
+// nothing lost in a quiet cluster.
+func TestClusterSweepScalesAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster sweep")
+	}
+	res := RunClusterSweep(ClusterSweepConfig{Seed: 1, Duration: 8 * time.Second})
+	p1, p2, p4 := res.Point(1), res.Point(2), res.Point(4)
+	if p1 == nil || p2 == nil || p4 == nil {
+		t.Fatalf("sweep missing points: %+v", res.Points)
+	}
+	for _, p := range res.Points {
+		t.Logf("%d node(s): %+v", p.Nodes, p)
+	}
+	if p1.Rejected == 0 {
+		t.Error("one node rejected nobody — the sweep no longer saturates a single node")
+	}
+	if !(p1.Admitted < p2.Admitted && p2.Admitted < p4.Admitted) {
+		t.Errorf("admission does not scale with nodes: %d -> %d -> %d",
+			p1.Admitted, p2.Admitted, p4.Admitted)
+	}
+	for _, p := range res.Points {
+		if p.Admitted+p.Rejected != res.Clients {
+			t.Errorf("%d nodes: admitted %d + rejected %d != %d clients",
+				p.Nodes, p.Admitted, p.Rejected, res.Clients)
+		}
+		if p.Shared == 0 {
+			t.Errorf("%d nodes: no viewer rode a fan-out group or the interval cache", p.Nodes)
+		}
+		if p.Lost != 0 {
+			t.Errorf("%d nodes: %d frames lost in a quiet cluster", p.Nodes, p.Lost)
+		}
+		if p.Nodes > 1 && p.PlacementOpens == 0 {
+			t.Errorf("%d nodes: placement rung never used", p.Nodes)
+		}
+	}
+}

@@ -27,6 +27,17 @@ type Movie struct {
 type Setup struct {
 	Seed int64
 
+	// Engine, when non-nil, boots the machine on an existing engine instead
+	// of creating one from Seed — several machines then share one virtual
+	// timeline (the cluster configuration). The caller drives that engine
+	// directly; Seed is ignored.
+	Engine *sim.Engine
+
+	// Name prefixes the machine's device names ("n0." makes disks
+	// "n0.sd0"), keeping traces and per-device RNG streams distinct when
+	// several machines share an engine.
+	Name string
+
 	// DiskCylinders shrinks the disk for fast tests; 0 keeps the full
 	// ST32550N geometry.
 	DiskCylinders int
@@ -86,7 +97,10 @@ type Machine struct {
 // engine context to spawn the workload. The caller then drives the engine
 // (m.Run / m.Eng.RunUntil).
 func Build(s Setup, ready func(m *Machine)) *Machine {
-	e := sim.NewEngine(s.Seed)
+	e := s.Engine
+	if e == nil {
+		e = sim.NewEngine(s.Seed)
+	}
 	g, p := disk.ST32550N()
 	if s.DiskCylinders > 0 {
 		g.Cylinders = s.DiskCylinders
@@ -98,7 +112,7 @@ func Build(s Setup, ready func(m *Machine)) *Machine {
 	if s.Disks >= 1 {
 		members := make([]*disk.Disk, s.Disks)
 		for i := range members {
-			members[i] = disk.New(e, fmt.Sprintf("sd%d", i), g, p)
+			members[i] = disk.New(e, fmt.Sprintf("%ssd%d", s.Name, i), g, p)
 		}
 		stripe := s.StripeSectors
 		if stripe == 0 {
@@ -107,23 +121,23 @@ func Build(s Setup, ready func(m *Machine)) *Machine {
 		var v *disk.Volume
 		var err error
 		if s.Parity {
-			v, err = disk.NewParityVolume("vol0", members, stripe)
+			v, err = disk.NewParityVolume(s.Name+"vol0", members, stripe)
 		} else {
-			v, err = disk.NewVolume("vol0", members, stripe)
+			v, err = disk.NewVolume(s.Name+"vol0", members, stripe)
 		}
 		if err != nil {
 			return &Machine{Eng: e, setupErr: err}
 		}
 		vol = v
 	} else {
-		vol = disk.SingleVolume(disk.New(e, "sd0", g, p))
+		vol = disk.SingleVolume(disk.New(e, s.Name+"sd0", g, p))
 	}
 	m := &Machine{Eng: e, Disk: vol.Disk(0), Vol: vol}
 	if _, err := ufs.Format(vol, s.FSOpts); err != nil {
 		m.setupErr = err
 		return m
 	}
-	e.Spawn("lab.setup", func(pr *sim.Proc) {
+	e.Spawn(s.Name+"lab.setup", func(pr *sim.Proc) {
 		fs, err := ufs.Mount(pr, vol, s.FSOpts)
 		if err != nil {
 			m.setupErr = fmt.Errorf("lab: mount: %w", err)

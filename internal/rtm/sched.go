@@ -204,7 +204,7 @@ func (k *Kernel) pushBack(t *Thread) {
 		return
 	}
 	t.inReady = true
-	k.ready = append(k.ready, t)
+	k.ready = append(k.ready, t) //crasvet:allow hotalloc -- ready-queue backing array stabilizes at the thread population's high-water mark
 }
 
 func (k *Kernel) pushFront(t *Thread) {
@@ -212,7 +212,12 @@ func (k *Kernel) pushFront(t *Thread) {
 		return
 	}
 	t.inReady = true
-	k.ready = append([]*Thread{t}, k.ready...)
+	// Grow by one in place and slide the queue right: reuses the backing
+	// array once it has reached the thread population, where the old
+	// prepend-by-copy allocated a fresh slice on every call.
+	k.ready = append(k.ready, nil) //crasvet:allow hotalloc -- ready-queue backing array stabilizes at the thread population's high-water mark
+	copy(k.ready[1:], k.ready)
+	k.ready[0] = t
 }
 
 // peekBest returns the front-most ready thread with maximal effective
@@ -238,7 +243,7 @@ func (k *Kernel) popBest() *Thread {
 		return nil
 	}
 	t := k.ready[bestIdx]
-	k.ready = append(k.ready[:bestIdx], k.ready[bestIdx+1:]...)
+	k.ready = append(k.ready[:bestIdx], k.ready[bestIdx+1:]...) //crasvet:allow hotalloc -- slide-down remove within the existing backing array; this append never grows
 	t.inReady = false
 	return t
 }

@@ -115,18 +115,18 @@ func (e *Engine) Tracef(format string, args ...any) {
 // for that time.
 func (e *Engine) At(t Time, fn func()) *Timer {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now)) //crasvet:allow hotalloc -- formats only on the way to a causality panic; a clean cycle never evaluates it
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := &event{at: t, seq: e.seq, fn: fn} //crasvet:allow hotalloc -- one event record per scheduled callback is the engine's unit of work; pooling would tie reuse to Timer lifetimes and break Stop-after-fire
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev} //crasvet:allow hotalloc -- the Timer handle escapes to the caller by contract
 }
 
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn func()) *Timer {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panic(fmt.Sprintf("sim: negative delay %v", d)) //crasvet:allow hotalloc -- formats only on the way to a misuse panic; a clean cycle never evaluates it
 	}
 	return e.At(e.now+d, fn)
 }

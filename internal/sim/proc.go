@@ -16,6 +16,11 @@ type Proc struct {
 	// timer used to wake it (nil timer means waiting for Unblock).
 	blockedReason string
 	wakePending   bool
+
+	// wakeFn is the hoisted wakeup continuation shared by every Sleep,
+	// SleepUntil and Unblock: allocated once per process so resuming a
+	// process never captures a fresh closure on the scheduler's hot path.
+	wakeFn func()
 }
 
 // Name returns the process name given to Spawn.
@@ -31,6 +36,11 @@ func (p *Proc) Dead() bool { return p.dead }
 // virtual time (after already-scheduled events for this instant).
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.wakeFn = func() {
+		if !p.dead {
+			p.run()
+		}
+	}
 	e.live++
 	e.At(e.now, func() {
 		go func() {
@@ -66,7 +76,7 @@ func (p *Proc) yield() {
 
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d Time) {
-	p.eng.After(d, func() { p.run() })
+	p.eng.After(d, p.wakeFn)
 	p.yield()
 }
 
@@ -74,7 +84,7 @@ func (p *Proc) Sleep(d Time) {
 // the past it panics, except that t == now is a simple yield to other work
 // scheduled for this instant.
 func (p *Proc) SleepUntil(t Time) {
-	p.eng.At(t, func() { p.run() })
+	p.eng.At(t, p.wakeFn)
 	p.yield()
 }
 
@@ -107,11 +117,7 @@ func (p *Proc) Unblock() {
 		return
 	}
 	p.blockedReason = ""
-	p.eng.At(p.eng.now, func() {
-		if !p.dead {
-			p.run()
-		}
-	})
+	p.eng.At(p.eng.now, p.wakeFn)
 }
 
 // BlockedReason returns the reason string passed to Block if the process is
