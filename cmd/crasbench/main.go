@@ -8,7 +8,7 @@
 //	crasbench -all                # everything (several minutes of CPU)
 //	crasbench -fig 6              # one figure (6, 7, 8, 9, 10, 12)
 //	crasbench -table 4            # Table 4
-//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache | overload | stripe | parity | multicast | cluster
+//	crasbench -extra vbr          # vbr | frag | record | delaysweep | faults | cache | overload | stripe | parity | multicast | cluster | vcr
 //	crasbench -fig 6 -quick       # smaller sweeps for a fast look
 //	crasbench -fig 6 -delay 3s    # the Section 3.1 longer-initial-delay run
 package main
@@ -27,10 +27,11 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9, 10, 12)")
 		table    = flag.Int("table", 0, "table to regenerate (4)")
-		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache | overload | stripe | parity | multicast | cluster")
+		extra    = flag.String("extra", "", "extra experiment: vbr | frag | record | delaysweep | interval | faults | cache | overload | stripe | parity | multicast | cluster | vcr")
 		jsonOut  = flag.String("json", "", "also write the parity sweep result as JSON to this file")
 		mjsonOut = flag.String("mcastjson", "", "also write the multicast sweep result as JSON to this file")
 		cjsonOut = flag.String("clusterjson", "", "also write the cluster sweep result as JSON to this file")
+		vjsonOut = flag.String("vcrjson", "", "also write the VCR sweep result as JSON to this file")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "smaller sweeps and shorter runs")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -185,6 +186,26 @@ func main() {
 				os.Exit(1)
 			}
 			if err := os.WriteFile(*cjsonOut, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "crasbench:", err)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
+	if *all || *extra == "vcr" {
+		cfg := expt.VCRSweepConfig{Seed: *seed, Duration: *duration}
+		if *quick && *duration == 0 {
+			cfg.Duration = 8 * time.Second
+		}
+		res := expt.RunVCRSweep(cfg)
+		fmt.Println(res.Table())
+		if *vjsonOut != "" {
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crasbench:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*vjsonOut, append(buf, '\n'), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "crasbench:", err)
 				os.Exit(1)
 			}

@@ -133,6 +133,26 @@ type Scenario struct {
 	SeekStorm int
 	StormAt   sim.Time
 
+	// StormScatter turns the storm's seeks into real repositionings spread
+	// across the title (a scrubbing viewer) instead of no-op seeks to the
+	// current position: every one re-admits the stream and rebuilds its
+	// runway, so the scrubber trades its own frames for the scrubbing while
+	// its peers must still lose nothing.
+	StormScatter bool
+
+	// PauseFirst makes the GoSilentAt client pause its session before
+	// falling silent: the paused-then-silent session holds pinned buffers
+	// and a paused admission slot, and the lease reaper must reclaim it
+	// through the standard eviction path like any other dead client.
+	PauseFirst bool
+
+	// RateLadder hands the server an adaptive delivered-rate ladder. The
+	// victim's bad region is then bounded (extents [1..2]) and the failure
+	// budget kept at the default: the invariants flip from degradation to
+	// resilience — the victim must step its delivered rate down instead of
+	// suspending, and recover to full rate once past the region.
+	RateLadder []float64
+
 	// OpenFlood launches this many one-shot no-op clients against the
 	// server one second in, with the control budget at 4 and the request
 	// queue capped at FloodQueueCap: a handful get admitted (and hang up),
@@ -257,8 +277,10 @@ type playerState struct {
 	closed   bool
 	crashAt  sim.Time // nonzero: die without closing (client crash)
 	silentAt sim.Time // nonzero: stop consuming but leave the session open
+	pause1st bool     // pause the session right before going silent
 	stormAt  sim.Time // nonzero: fire stormN seeks at this time
 	stormN   int
+	scatter  bool // storm seeks scrub across the title instead of no-oping
 }
 
 // Run executes one scenario to completion and checks its invariants.
@@ -304,7 +326,9 @@ func Run(sc Scenario) *Result {
 	}
 	players[0].crashAt = sc.CrashAt
 	players[0].silentAt = sc.GoSilentAt
+	players[0].pause1st = sc.PauseFirst
 	players[0].stormAt, players[0].stormN = sc.StormAt, sc.SeekStorm
+	players[0].scatter = sc.StormScatter
 
 	var model *disk.FaultModel
 	var serverStart sim.Time
@@ -335,6 +359,9 @@ func Run(sc Scenario) *Result {
 	}
 	if sc.Share {
 		cfg.CacheBudget = 32 << 20
+	}
+	if len(sc.RateLadder) > 0 {
+		cfg.RateLadder = sc.RateLadder
 	}
 	if sc.Multicast {
 		// A window wide enough that the back-to-back opens batch, and a
@@ -396,7 +423,13 @@ func Run(sc Scenario) *Result {
 			if sc.Victim {
 				ext := players[0].h.ExtentMap().Extents
 				from, last := ext[1], ext[len(ext)-1]
-				if (sc.Share || sc.Multicast) && len(ext) > 4 {
+				if len(sc.RateLadder) > 0 && len(ext) > 4 {
+					// The ladder must outlast the region, not the other way
+					// around: three poisoned extents burn through one rung's
+					// failure budget, and the clean tail funds the recovery
+					// back to full rate.
+					last = ext[3]
+				} else if (sc.Share || sc.Multicast) && len(ext) > 4 {
 					// Leave the shared file's tail clean: the leader must
 					// die over the region while followers survive past it.
 					// For a multicast group the bounded region also lands
@@ -566,14 +599,29 @@ func playStream(m *lab.Machine, pt *rtm.Thread, ps *playerState, info *media.Str
 		}
 		if ps.silentAt > 0 && m.Kernel.Now() >= ps.silentAt {
 			// The client stops consuming and renewing but leaves the
-			// session open; reclaiming it is the lease reaper's job.
+			// session open; reclaiming it is the lease reaper's job. With
+			// pause1st it freezes the frame on its way out — the paused
+			// session holds pinned buffers and a paused admission slot, and
+			// must be reaped through the very same path.
+			if ps.pause1st {
+				if err := h.Pause(pt); err != nil {
+					res.violate("%s: pause before going silent: %v", ps.path, err)
+				}
+			}
 			return
 		}
 		if ps.stormN > 0 && m.Kernel.Now() >= ps.stormAt {
 			n := ps.stormN
 			ps.stormN = 0
 			for k := 0; k < n; k++ {
-				if err := h.Seek(pt, h.LogicalNow()); err != nil {
+				target := h.LogicalNow()
+				if ps.scatter {
+					// A scrubbing viewer: hop across the title, every landing
+					// a real re-admission. The frames it scrubs past are its
+					// own to lose; peers must not notice.
+					target = info.TotalDuration() * sim.Time(k%8) / 8
+				}
+				if err := h.Seek(pt, target); err != nil {
 					res.violate("%s: seek %d of storm refused: %v", ps.path, k, err)
 					return
 				}
@@ -677,7 +725,7 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 
 	r.checkParity(m)
 
-	if r.Scenario.Victim && !r.Scenario.Parity {
+	if r.Scenario.Victim && !r.Scenario.Parity && len(r.Scenario.RateLadder) == 0 {
 		victim := r.Players[0]
 		if victim.Health == core.Healthy {
 			r.violate("victim stream still healthy over a persistent bad region")
@@ -714,6 +762,8 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 		}
 	}
 
+	r.checkVCR(m, players)
+
 	for i, p := range r.Players {
 		if r.Scenario.Victim && i == 0 && !r.Scenario.Parity {
 			continue // the victim is expected to lose its poisoned range
@@ -738,6 +788,62 @@ func (r *Result) checkInvariants(m *lab.Machine, players []*playerState) {
 
 	r.checkMulticast()
 	r.checkMisbehavior(m)
+}
+
+// checkVCR asserts the interactive-viewer contracts: a scrubbing storm
+// costs only its issuer, a paused-then-silent session is reaped with its
+// pins, and over a bad region the delivered-rate ladder steps down instead
+// of suspending and recovers once past it.
+func (r *Result) checkVCR(m *lab.Machine, players []*playerState) {
+	sc := r.Scenario
+	if sc.StormScatter && sc.SeekStorm > 0 {
+		if r.Server.Seeks < sc.SeekStorm {
+			r.violate("scrub storm of %d but the server handled only %d seeks",
+				sc.SeekStorm, r.Server.Seeks)
+		}
+		// The scrubber pays for its own scrubbing; the peers' zero frames
+		// lost is the ZeroLoss assertion below. The issuer must still end
+		// the run a live, healthy session — scrubbing is use, not abuse.
+		if h := players[0].h; h != nil && h.Health() != core.Healthy {
+			r.violate("scrubbing viewer ended %v; repositioning must not walk the ladder", h.Health())
+		}
+	}
+	if sc.PauseFirst {
+		if r.Server.Pauses == 0 {
+			r.violate("pause-then-silent scenario recorded no pause")
+		}
+		if r.Server.Resumes != 0 {
+			r.violate("nobody resumed, yet Resumes = %d", r.Server.Resumes)
+		}
+		// The reaped pause must have returned everything: with every player
+		// done (closed or evicted), no session — and none of the paused
+		// session's pinned memory or admission capacity — may linger.
+		if n := m.CRAS.ActiveStreams(); n != 0 {
+			r.violate("%d sessions still live after the paused client was reaped", n)
+		}
+		if sc.Share && r.Server.CachePromotions == 0 && r.Server.CacheFallbacks == 0 {
+			r.violate("paused leader starved its follower: no promotion and no disk fallback")
+		}
+	}
+	if len(sc.RateLadder) > 0 {
+		if r.Server.RateStepDowns == 0 {
+			r.violate("bad region under a rate ladder produced no step-down")
+		}
+		if r.Server.StreamsSuspended != 0 {
+			r.violate("%d streams suspended; the ladder must absorb this region", r.Server.StreamsSuspended)
+		}
+		if r.Server.RateStepUps == 0 {
+			r.violate("stream never recovered a rung after the region ended")
+		}
+		if h := players[0].h; h != nil {
+			if h.Health() != core.Healthy {
+				r.violate("victim ended %v under the ladder; want recovery to Healthy", h.Health())
+			}
+			if dr := h.DeliveredRate(); dr != 1 {
+				r.violate("victim ended at delivered rate %v; want full-rate recovery", dr)
+			}
+		}
+	}
 }
 
 // checkMulticast asserts the batching contract: the premiere workload really
@@ -1017,6 +1123,32 @@ func Campaign(base int64) []Scenario {
 				StallProb: 0.1, MaxStalls: 2,
 			},
 			DrainAfter: 3 * time.Second, DrainGrace: 2 * time.Second,
+		},
+	)
+	// Interactive-viewer (VCR) drills: a scrubbing viewer hammering real
+	// repositionings pays only with its own frames, a client that pauses
+	// and then falls silent is reaped through the standard eviction path
+	// with its pins, and a bad region under the adaptive frame-rate ladder
+	// steps the victim's delivered rate down instead of suspending it —
+	// then recovers to full rate on the clean tail. All at two streams so
+	// Quick keeps them.
+	out = append(out,
+		Scenario{
+			Name: "seek-storm-isolation/s2", Seed: base*1000 + 116,
+			Streams: 2, ZeroLoss: true,
+			SeekStorm: 16, StormAt: 3 * time.Second, StormScatter: true,
+		},
+		Scenario{
+			Name: "pause-lease-interaction/s2", Seed: base*1000 + 117,
+			Streams: 2, ZeroLoss: true,
+			Share: true, StaggerOpen: 500 * time.Millisecond,
+			GoSilentAt: 3 * time.Second, PauseFirst: true,
+		},
+		Scenario{
+			Name: "vcr-under-faults/s2", Seed: base*1000 + 118,
+			Streams: 2, Victim: true,
+			MovieDur:   16 * time.Second,
+			RateLadder: []float64{1, 0.75, 0.5},
 		},
 	)
 	// Striped-volume drills, upgraded from confinement to recovery by

@@ -58,9 +58,11 @@ type Config struct {
 	// rotate the failover schedule independently of the engine seed.
 	JitterSeed int64
 
-	// DegradedRate scales a displaced viewer's rate when no survivor can
-	// re-admit it at full rate; 0.75 by default, and a value >= 1 or <= 0
-	// disables reduced-rate re-admission.
+	// DegradedRate scales a displaced viewer's delivered frame fraction
+	// when no survivor can re-admit it at full rate: the replacement keeps
+	// the playback clock at full pace and skips frames (core's
+	// DeliveredRate thinning) instead of stretching the timeline. 0.75 by
+	// default; a value >= 1 or <= 0 disables reduced-rate re-admission.
 	DegradedRate float64
 
 	// FailoverRetries bounds how many RetryAfter waits a stranded viewer
@@ -369,9 +371,10 @@ func (c *Cluster) nodeDead(n *node, reason string) {
 	}
 }
 
-// failoverSession re-establishes one displaced viewer: full rate first,
-// reduced rate when the survivors cannot fit the displaced population at
-// full rate, and an honest typed *FailoverError with a RetryAfter wait
+// failoverSession re-establishes one displaced viewer: full rate first, a
+// thinned delivered rate (frame skipping at full clock pace) when the
+// survivors cannot fit the displaced population at full rate, and an
+// honest typed *FailoverError with a RetryAfter wait
 // when the cluster is saturated outright — retried a bounded number of
 // times before the viewer is refused for good.
 func (c *Cluster) failoverSession(th *rtm.Thread, s *Session, from *node) {
@@ -386,7 +389,8 @@ func (c *Cluster) failoverSession(th *rtm.Thread, s *Session, from *node) {
 			s.orphaned = false
 			return
 		}
-		h, n, err := c.openOn(th, s.path, s.info, core.OpenOptions{Rate: s.rate, At: at}, from)
+		h, n, err := c.openOn(th, s.path, s.info,
+			core.OpenOptions{Rate: s.rate, At: at, DeliveredRate: s.dr}, from)
 		if err == nil {
 			c.adopt(th, s, h, n, s.rate)
 			c.stats.Failovers++
@@ -394,12 +398,16 @@ func (c *Cluster) failoverSession(th *rtm.Thread, s *Session, from *node) {
 		}
 		hint, capacity := capacityError(err)
 		if capacity && c.cfg.DegradedRate > 0 && c.cfg.DegradedRate < 1 {
-			reduced := effectiveRate(s.rate) * c.cfg.DegradedRate
-			h, n, err2 := c.openOn(th, s.path, s.info, core.OpenOptions{Rate: reduced, At: at}, from)
+			// Re-admit with a thinned delivered rate: the replacement keeps
+			// the clock at full pace and skips frames, instead of stretching
+			// the viewer's timeline in slow motion.
+			reduced := s.deliveredRate() * c.cfg.DegradedRate
+			h, n, err2 := c.openOn(th, s.path, s.info,
+				core.OpenOptions{Rate: s.rate, At: at, DeliveredRate: reduced}, from)
 			if err2 == nil {
-				s.rate = reduced
+				s.dr = reduced
 				s.reduced++
-				c.adopt(th, s, h, n, reduced)
+				c.adopt(th, s, h, n, s.rate)
 				c.stats.Failovers++
 				c.stats.FailoversReduced++
 				return
@@ -490,12 +498,14 @@ func (c *Cluster) DrainNode(th *rtm.Thread, id int, grace sim.Time) error {
 		if at >= s.info.TotalDuration() {
 			continue // runs out on the draining node before a peer could take over
 		}
-		h, peer, err := c.openOn(th, s.path, s.info, core.OpenOptions{Rate: s.rate, At: at}, n)
+		h, peer, err := c.openOn(th, s.path, s.info,
+			core.OpenOptions{Rate: s.rate, At: at, DeliveredRate: s.dr}, n)
 		if err != nil {
 			if _, capacity := capacityError(err); capacity && c.cfg.DegradedRate > 0 && c.cfg.DegradedRate < 1 {
-				reduced := effectiveRate(s.rate) * c.cfg.DegradedRate
-				if h2, peer2, err2 := c.openOn(th, s.path, s.info, core.OpenOptions{Rate: reduced, At: at}, n); err2 == nil {
-					s.rate = reduced
+				reduced := s.deliveredRate() * c.cfg.DegradedRate
+				if h2, peer2, err2 := c.openOn(th, s.path, s.info,
+					core.OpenOptions{Rate: s.rate, At: at, DeliveredRate: reduced}, n); err2 == nil {
+					s.dr = reduced
 					s.reduced++
 					c.stats.FailoversReduced++
 					h, peer, err = h2, peer2, nil

@@ -249,7 +249,7 @@ func (c *Cluster) Open(th *rtm.Thread, path string, opts core.OpenOptions) (*Ses
 		c.stats.OpenRejects++
 		return nil, err
 	}
-	s := &Session{c: c, path: path, info: info, rate: opts.Rate, posT: opts.At, node: n, h: h}
+	s := &Session{c: c, path: path, info: info, rate: opts.Rate, dr: opts.DeliveredRate, posT: opts.At, node: n, h: h}
 	n.sessions = append(n.sessions, s)
 	n.serving[path]++
 	return s, nil

@@ -18,7 +18,8 @@ type Session struct {
 	c    *Cluster
 	path string
 	info *media.StreamInfo
-	rate float64 // current effective rate (reduced after a degraded re-admit)
+	rate float64 // requested playback (clock) rate; 0 means 1.0
+	dr   float64 // delivered frame fraction; thinned on degraded re-admits, 0 means 1.0
 
 	node *node
 	h    *core.Handle
@@ -64,12 +65,25 @@ func (s *Session) Refused() bool { return s.refused }
 func (s *Session) Stranded() *FailoverError { return s.stranded }
 
 // Reduced returns how many times the session was re-admitted at reduced
-// rate.
+// delivered rate.
 func (s *Session) Reduced() int { return s.reduced }
 
-// Rate returns the session's current effective rate (0 means 1.0 was
-// requested and never reduced).
-func (s *Session) Rate() float64 { return s.rate }
+// Rate returns the session's effective delivered rate: the playback clock
+// rate scaled by the delivered frame fraction. A degraded re-admission
+// thins the fraction, never the clock — the viewer's timeline keeps full
+// pace and frames are skipped instead.
+func (s *Session) Rate() float64 { return effectiveRate(s.rate) * s.deliveredRate() }
+
+// DeliveredRate returns the fraction of frames the serving node delivers
+// (1.0 until a degraded re-admission thins it).
+func (s *Session) DeliveredRate() float64 { return s.deliveredRate() }
+
+func (s *Session) deliveredRate() float64 {
+	if s.dr <= 0 || s.dr > 1 {
+		return 1
+	}
+	return s.dr
+}
 
 // Handle exposes the current core handle (measurements; may change across
 // failovers).

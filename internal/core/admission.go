@@ -53,6 +53,14 @@ type StreamParams struct {
 	Multicast   bool  // served by group fan-out, not the disk
 	FanoutBytes int64 // fan-out buffer charge while Multicast
 
+	// A paused stream (vcr.go) is the fourth resource class: its buffers
+	// stay pinned — it keeps its full memory charge so Resume never has to
+	// fight for the RAM its buffered runway already occupies — but its
+	// clock is frozen and it fetches nothing, so it contributes no rate, no
+	// chunk slack and no per-operation overhead to the interval's disk
+	// schedule. Resume is a fresh admission at the unpaused charge.
+	Paused bool
+
 	Disks     []int // member disks the stream loads (nil = all members)
 	DiskBytes int64 // per-member bytes per interval when striped (0 = full A_i)
 }
@@ -134,14 +142,14 @@ func (a AdmissionParams) TotalOverhead(n int) sim.Time {
 // T >= (O_total*D + C_total) / (D - R_total). It returns an error when the
 // aggregate rate meets or exceeds the disk rate (no interval suffices).
 func (a AdmissionParams) RequiredInterval(streams []StreamParams) (sim.Time, error) {
-	// Cache-backed and fan-out-member streams read nothing from the disk:
-	// they contribute no rate, no chunk slack and no per-operation overhead
-	// to the batch.
+	// Cache-backed, fan-out-member and paused streams read nothing from the
+	// disk: they contribute no rate, no chunk slack and no per-operation
+	// overhead to the batch.
 	n := 0
 	var rTotal float64
 	var cTotal int64
 	for _, s := range streams {
-		if s.Cached || s.Multicast {
+		if s.Cached || s.Multicast || s.Paused {
 			continue
 		}
 		n++
@@ -383,7 +391,7 @@ func (a AdmissionParams) AdmitShape(t sim.Time, budget int64, shape VolumeShape,
 		// RequiredInterval solves formula (1) for this member.
 		var sub []StreamParams
 		for _, s := range streams {
-			if s.Cached || s.Multicast || !s.touchesDisk(d) {
+			if s.Cached || s.Multicast || s.Paused || !s.touchesDisk(d) {
 				continue
 			}
 			//crasvet:allow hotalloc -- admission test scratch, bounded by open streams; hot-reachable only via the once-per-member-death re-admission

@@ -22,6 +22,14 @@ type OpenOptions struct {
 	// from here. The cluster's failover and drain migration use it to
 	// resume a displaced viewer at its stamp point.
 	At sim.Time
+	// DeliveredRate asks for a reduced fraction of the media's frames
+	// (0 or 1 means all of them). The clock still advances at Rate — the
+	// stream skips chunks instead of slowing down, so a 0.5 session reads
+	// half the bytes and holds each delivered frame twice as long. With a
+	// RateLadder configured the request is quantized to the nearest rung
+	// at or below; the admission test may walk it further down. Ignored
+	// for recording sessions.
+	DeliveredRate float64
 }
 
 // Handle is an application's connection to one continuous media session.
@@ -76,7 +84,7 @@ func (s *Server) open(th *rtm.Thread, r openReq) (*Handle, error) {
 // Unix server), runs the admission test, and sets up the shared buffer.
 // This is crs_open.
 func (s *Server) Open(th *rtm.Thread, info *media.StreamInfo, path string, opts OpenOptions) (*Handle, error) {
-	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, at: opts.At, force: opts.Force})
+	return s.open(th, openReq{info: info, path: path, rate: opts.Rate, at: opts.At, force: opts.Force, dr: opts.DeliveredRate})
 }
 
 // OpenRecord establishes a constant-rate recording session: the media file
@@ -125,9 +133,35 @@ func (h *Handle) Seek(th *rtm.Thread, logical sim.Time) error {
 }
 
 // SetRate changes the retrieval rate, re-running admission (the extension
-// supporting the paper's 60 fps fast-forward discussion).
+// supporting the paper's 60 fps fast-forward discussion). A negative rate
+// plays the media backwards at the given magnitude — frames are fetched in
+// reverse chunk order and delivered on a forward timeline, the classic
+// rewind scan. Rate 0 is refused: that is Pause's job.
 func (h *Handle) SetRate(th *rtm.Thread, rate float64) error {
 	return h.op(th, setRateReq{id: h.st.id, rate: rate})
+}
+
+// Pause freezes the session where it stands (crs_pause): the logical clock
+// stops, buffered frames stay pinned so Get keeps returning the paused
+// frame, pre-fetching ceases, and the admission slot converts to the
+// paused resource class — buffer memory stays charged, disk bandwidth is
+// released. The session lease keeps running; a paused client must still
+// touch the session (Get on the frozen frame suffices) or be reaped like
+// any other idle session. Pausing a cache follower or multicast member
+// detaches it first; pausing a leader or feed hands its dependents off.
+// Idempotent; refused for recording sessions.
+func (h *Handle) Pause(th *rtm.Thread) error {
+	return h.op(th, pauseReq{id: h.st.id})
+}
+
+// Resume restarts a paused session on the exact timeline Pause froze,
+// shifted by the paused span: the next frame is due as far in the future
+// as it was when the pause hit. Resuming re-runs the admission test to
+// reclaim the disk slot — under load the refusal is a *VCRError carrying
+// RetryAfter, and with a RateLadder configured the session may come back
+// at a reduced delivered rate instead. Idempotent on a playing session.
+func (h *Handle) Resume(th *rtm.Thread) error {
+	return h.op(th, resumeReq{id: h.st.id})
 }
 
 // Get returns the chunk covering the given logical time if it is resident
@@ -182,6 +216,20 @@ func (h *Handle) CacheBacked() bool { return h.st.cached }
 // falls back to disk or is promoted to the group's feed.
 func (h *Handle) MulticastMember() bool { return h.st.mcastMember }
 
+// Paused reports whether the session is paused. Like Get, it reads shared
+// state directly and may be called from any engine context.
+func (h *Handle) Paused() bool { return h.st.paused }
+
+// DeliveredRate returns the fraction of the media's frames the session is
+// currently delivering (1.0 = all of them). The adaptive ladder moves it
+// down under sustained disk failures or admission pressure and back up
+// after clean cycles.
+func (h *Handle) DeliveredRate() float64 { return h.st.dr }
+
+// Reversed reports whether the session is playing backwards (a negative
+// SetRate).
+func (h *Handle) Reversed() bool { return h.st.rev != nil }
+
 // PrefixStarted reports whether the session's playback head was served
 // from the pinned prefix cache at open time.
 func (h *Handle) PrefixStarted() bool { return h.st.prefixStart }
@@ -199,14 +247,16 @@ func (h *Handle) ExtentMap() *ExtentMap { return h.st.ext }
 // pure memory reads, so it stays readable even after the serving node has
 // shut down — exactly the situation failover needs it in.
 type SessionState struct {
-	Path        string
-	Rate        float64  // playback rate (clock rate)
-	Started     bool     // the clock has been armed by Start
-	Logical     sim.Time // logical clock position now
-	StampPoint  sim.Time // media time of the next chunk to be stamped
-	CacheBacked bool
-	Multicast   bool
-	Health      StreamHealth
+	Path          string
+	Rate          float64  // playback rate (clock rate)
+	DeliveredRate float64  // fraction of frames delivered (ladder position)
+	Paused        bool     // frozen by Pause, resumable in place
+	Started       bool     // the clock has been armed by Start
+	Logical       sim.Time // logical clock position now
+	StampPoint    sim.Time // media time of the next chunk to be stamped
+	CacheBacked   bool
+	Multicast     bool
+	Health        StreamHealth
 }
 
 // SessionState snapshots the session for migration. Like Get it reads
@@ -222,13 +272,15 @@ func (h *Handle) SessionState() SessionState {
 		stamp = st.info.Chunks[st.nextStamp].Timestamp
 	}
 	return SessionState{
-		Path:        st.name,
-		Rate:        st.clock.Rate(),
-		Started:     st.clock.Running(),
-		Logical:     st.clock.At(now),
-		StampPoint:  stamp,
-		CacheBacked: st.cached,
-		Multicast:   st.mcastMember,
-		Health:      st.health,
+		Path:          st.name,
+		Rate:          st.clock.Rate(),
+		DeliveredRate: st.dr,
+		Paused:        st.paused,
+		Started:       st.clock.Running(),
+		Logical:       st.clock.At(now),
+		StampPoint:    stamp,
+		CacheBacked:   st.cached,
+		Multicast:     st.mcastMember,
+		Health:        st.health,
 	}
 }

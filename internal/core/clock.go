@@ -11,6 +11,13 @@ type LogicalClock struct {
 	anchor  sim.Time // real time of the last start/seek/rate change
 	rate    float64  // logical seconds per real second while running
 	running bool
+
+	// Pause/Resume state (crs_pause): a paused clock is frozen like a
+	// stopped one, but remembers it was running — and how much of a pending
+	// initial delay had not elapsed — so Resume restores the exact timeline
+	// shifted by the paused span.
+	paused    bool
+	pauseLead sim.Time
 }
 
 // NewLogicalClock returns a stopped clock at logical zero with unit rate.
@@ -39,6 +46,8 @@ func (c *LogicalClock) Start(now, startAt sim.Time) {
 	c.logical = c.At(now)
 	c.anchor = startAt
 	c.running = true
+	c.paused = false
+	c.pauseLead = 0
 }
 
 // PendingStart reports whether the clock is armed but not yet advancing:
@@ -53,6 +62,40 @@ func (c *LogicalClock) Stop(now sim.Time) {
 	c.logical = c.At(now)
 	c.anchor = now
 	c.running = false
+	c.paused = false
+	c.pauseLead = 0
+}
+
+// Pause freezes a running clock at its value at now, preserving any
+// un-elapsed initial-delay lead so Resume restores the same frame deadlines
+// shifted by exactly the paused span. Pausing a stopped clock is a no-op on
+// the clock (the stream still marks itself paused); pausing an already
+// paused clock keeps the original lead.
+func (c *LogicalClock) Pause(now sim.Time) {
+	if !c.running {
+		return
+	}
+	c.pauseLead = 0
+	if now < c.anchor {
+		c.pauseLead = c.anchor - now
+	}
+	c.logical = c.At(now)
+	c.anchor = now
+	c.running = false
+	c.paused = true
+}
+
+// Resume restarts a paused clock at now plus whatever initial-delay lead
+// the pause preserved. A clock that was not running when paused stays
+// stopped — the client's Start arms it as usual.
+func (c *LogicalClock) Resume(now sim.Time) {
+	if !c.paused {
+		return
+	}
+	c.anchor = now + c.pauseLead
+	c.paused = false
+	c.pauseLead = 0
+	c.running = true
 }
 
 // Seek sets the logical value at real time now, preserving the running

@@ -119,6 +119,11 @@ func (s *Server) cacheCandidate(r openReq) *stream {
 	if s.cfg.CacheBudget <= 0 || r.record {
 		return nil
 	}
+	if r.dr > 0 && r.dr < 1 {
+		// Reduced-delivered-rate viewers skip frames; a follower must
+		// consume the leader's full stamp sequence, so they read alone.
+		return nil
+	}
 	for _, pc := range s.icache.paths {
 		if pc.path == r.path {
 			if s.cacheEligible(pc.leader, r) {
@@ -166,6 +171,11 @@ func (s *Server) cachePlan(r openReq, now sim.Time, par StreamParams) (*stream, 
 // be meaningful).
 func (s *Server) cacheEligible(leader *stream, r openReq) bool {
 	if leader == nil || leader.closed || leader.health >= Suspended {
+		return false
+	}
+	if leader.dr < 1 || leader.paused || leader.rev != nil {
+		// A thinned, frozen, or rewinding leader does not produce the full
+		// forward stamp sequence followers ride on.
 		return false
 	}
 	rate := r.rate

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/media"
 	"repro/internal/rtm"
+	"repro/internal/sim"
 	"repro/internal/ufs"
 )
 
@@ -455,7 +456,11 @@ func TestCacheTwoFollowersSurviveLeaderClose(t *testing.T) {
 // Seeks and rate changes break the temporal overlap the cache pairs rely
 // on. A follower doing either falls back alone; a leader doing either
 // strands every follower. Each detach must leave the stream a plain disk
-// stream that can re-attach on a later open.
+// stream that can re-attach on a later open. (Seek-to-current and
+// same-rate SetRate are exact no-ops that detach nothing — the golden
+// VCR tests prove that side — so every operation here genuinely moves:
+// seeks target positions outside the pinned interval and rate changes
+// pick a new velocity.)
 func TestCacheSeekAndRateChangeDetach(t *testing.T) {
 	movie := media.MPEG1().Generate("/m1", 12*time.Second)
 	newBed(t, 1, ufs.Options{}, Config{CacheBudget: 16 << 20},
@@ -486,47 +491,50 @@ func TestCacheSeekAndRateChangeDetach(t *testing.T) {
 			if f1 == nil {
 				return
 			}
-			if err := f1.SetRate(th, 1.0); err != nil {
+			if err := f1.SetRate(th, 2.0); err != nil {
 				t.Errorf("f1 SetRate: %v", err)
 			}
 			if f1.CacheBacked() || f1.Params().Cached {
 				t.Error("f1 still cache-backed after rate change")
 			}
 
-			// Follower seek: same contract.
+			// Follower seek outside the pinned interval: same contract (a
+			// seek inside it re-validates and keeps the pins instead).
 			f2 := openFollower("f2 (seek)")
 			if f2 == nil {
 				return
 			}
-			if err := f2.Seek(th, 0); err != nil {
+			if err := f2.Seek(th, sim.Time(6*time.Second)); err != nil {
 				t.Errorf("f2 seek: %v", err)
 			}
 			if f2.CacheBacked() {
 				t.Error("f2 still cache-backed after seek")
 			}
 
-			// Leader rate change: strands the attached follower.
-			f3 := openFollower("f3 (leader rate change)")
+			// Leader seek: strands the attached follower, and the cache must
+			// rebuild after.
+			f3 := openFollower("f3 (leader seek)")
 			if f3 == nil {
 				return
 			}
-			if err := lead.SetRate(th, 1.0); err != nil {
-				t.Errorf("leader SetRate: %v", err)
+			if err := lead.Seek(th, sim.Time(2*time.Second)); err != nil {
+				t.Errorf("leader seek: %v", err)
 			}
 			if f3.CacheBacked() {
-				t.Error("f3 still cache-backed after leader rate change")
+				t.Error("f3 still cache-backed after leader seek")
 			}
 
-			// Leader seek: same contract, and the cache must rebuild after.
-			f4 := openFollower("f4 (leader seek)")
+			// Leader rate change: same contract. Last, because a follower
+			// can only attach to a leader whose clock rate matches its own.
+			f4 := openFollower("f4 (leader rate change)")
 			if f4 == nil {
 				return
 			}
-			if err := lead.Seek(th, 0); err != nil {
-				t.Errorf("leader seek: %v", err)
+			if err := lead.SetRate(th, 2.0); err != nil {
+				t.Errorf("leader SetRate: %v", err)
 			}
 			if f4.CacheBacked() {
-				t.Error("f4 still cache-backed after leader seek")
+				t.Error("f4 still cache-backed after leader rate change")
 			}
 
 			st := b.cras.Stats()

@@ -243,6 +243,11 @@ func (s *Server) mcastCandidate(r openReq, now sim.Time) *stream {
 	if !s.mcastEnabled() || r.record {
 		return nil
 	}
+	if r.dr > 0 && r.dr < 1 {
+		// Reduced-delivered-rate viewers skip frames and cannot ride a
+		// feed's full fan-out sequence.
+		return nil
+	}
 	var best *stream
 	for _, g := range s.mcast.groups {
 		if g.path == r.path && s.mcastJoinable(g.feed, r, now) {

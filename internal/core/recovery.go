@@ -170,8 +170,8 @@ func (s *Server) retrySpares() []sim.Time {
 		ops[d], bytes[d] = 0, 0
 	}
 	for _, st := range s.streams {
-		if st.closed || st.par.Cached || st.par.Multicast {
-			continue // cache followers and fan-out members issue no steady-state reads
+		if st.closed || st.par.Cached || st.par.Multicast || st.par.Paused {
+			continue // cache followers, fan-out members, and paused streams issue no steady-state reads
 		}
 		a := int64(s.cfg.Interval.Seconds()*st.par.Rate) + st.par.Chunk
 		if n > 1 {
@@ -317,6 +317,14 @@ func (s *Server) updateStreamHealth(now sim.Time) {
 				st.degradedErrs += errs
 				st.cleanCycles = 0
 				if st.degradedErrs >= pol.SuspendAfter {
+					// With a delivered-rate ladder configured, step the
+					// stream down a rung instead of suspending: less disk
+					// load, the viewer keeps (thinned) frames, and clean
+					// cycles can promote it back. Only when no rung is
+					// left does it suspend.
+					if s.ladderStepDown(st, now) {
+						continue
+					}
 					st.suspendedAt = now
 					st.clock.Stop(now)
 					s.setHealth(st, Suspended, fmt.Sprintf("%d failures while degraded", st.degradedErrs)) //crasvet:allow hotalloc -- formats once per health transition, not per cycle

@@ -86,6 +86,17 @@ type Config struct {
 	// Default 64.
 	RequestQueueCap int
 
+	// RateLadder enables the adaptive frame-rate ladder (vcr.go): the
+	// delivered rates a stream may serve at, e.g. {1, 0.75, 0.5}. With a
+	// ladder configured, the recovery engine steps a failing stream's
+	// delivered rate down instead of suspending it, admission walks a
+	// refused open down the rungs (reduced-rate warm-up) instead of
+	// rejecting it, and a once-per-cycle promotion pass steps reduced
+	// streams back up when spare interval time reappears. nil (the
+	// default) disables the ladder entirely: every stream delivers every
+	// frame, exactly the pre-ladder behavior.
+	RateLadder []float64
+
 	Params AdmissionParams
 }
 
@@ -230,6 +241,19 @@ type Stats struct {
 	SessionsReaped int   // expired or dead-client sessions evicted
 	RequestsShed   int   // control RPCs refused by the overload gate
 	DrainEvictions int   // streams still open at the drain deadline
+
+	// VCR operations and the adaptive frame-rate ladder (vcr.go).
+	Pauses            int // sessions paused
+	Resumes           int // sessions resumed (re-admitted)
+	ResumesRefused    int // resumes refused by re-admission; the stream stays paused
+	Seeks             int // seek requests handled (no-ops included)
+	SeeksRefused      int // seeks refused by re-admission at the new position
+	SeekRevalidations int // follower seeks that re-validated the gap contract and kept their pins
+	RateChanges       int // rate changes applied (no-ops excluded)
+	RateRefused       int // rate changes refused by re-admission at every rung
+	RateStepDowns     int // delivered-rate ladder moves down instead of suspending
+	RateStepUps       int // delivered-rate recoveries back toward full rate
+	OpensReduced      int // opens admitted at reduced delivered rate (warm-up)
 
 	// Rotating-parity survival (member.go, parity volumes only).
 	DegradedReads         int64 // logical reads served with a member missing
@@ -723,7 +747,11 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			continue
 		}
 		before := st.stats.ChunksStamped
-		st.absorbCompletions(now, s.mcastStampFloor(st, now))
+		if st.rev != nil {
+			s.absorbReverse(st, now)
+		} else {
+			st.absorbCompletions(now, s.mcastStampFloor(st, now))
+		}
 		if st.cached {
 			// The open order guarantees the leader was processed earlier in
 			// this loop, so chunks it discarded this cycle are already pinned.
@@ -753,6 +781,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	// flag sessions whose client stopped touching them for the reaper.
 	s.updateStreamHealth(now)
 	s.scanLeases(now)
+	s.ladderPromoteStep(now)
 
 	// Member ladder and rebuild scavenger (parity volumes): operator ops,
 	// health transitions, and the next spare-paced batch of rebuild rows.
@@ -764,7 +793,7 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 	batch := s.batchScratch[:0]
 	active := 0
 	for _, st := range s.streams {
-		if st.closed || st.health >= Suspended {
+		if st.closed || st.paused || st.health >= Suspended {
 			continue
 		}
 		if st.mcastMember && s.mcastFeedGone(st) {
@@ -797,7 +826,17 @@ func (s *Server) scheduleCycle(t *rtm.Thread, cycle int) bool {
 			// Plain stream — or a follower that fell back mid-advance, whose
 			// reads must join this same cycle's batch so the switch to disk
 			// costs at most one interval.
-			tags := st.fetchTargets(horizon)
+			var tags []*readTag
+			switch {
+			case st.rev != nil:
+				tags = s.fetchReverse(st, horizonAt)
+			case st.dr < 1 && !st.record:
+				// Reduced delivered rate: walk the chunk table and skip the
+				// frames the ladder dropped instead of reading whole ranges.
+				tags = st.fetchTargetsSkip(horizon)
+			default:
+				tags = st.fetchTargets(horizon)
+			}
 			issued += len(tags)
 			batch = append(batch, tags...) //crasvet:allow hotalloc -- append into per-cycle scratch; capacity retained across cycles
 		}
@@ -1019,6 +1058,7 @@ type (
 		info   *media.StreamInfo
 		path   string
 		rate   float64
+		dr     float64  // requested delivered rate (0 = full)
 		at     sim.Time // initial logical position (attach-at-stamp reopen)
 		force  bool
 		record bool
@@ -1034,7 +1074,9 @@ type (
 		id   int
 		rate float64
 	}
-	renewReq struct{ id int }
+	pauseReq  struct{ id int }
+	resumeReq struct{ id int }
+	renewReq  struct{ id int }
 
 	openResp struct {
 		st  *stream
@@ -1122,76 +1164,13 @@ func (s *Server) handleRequest(t *rtm.Thread, req any) any {
 		st.clock.Stop(now)
 		return opResp{}
 	case seekReq:
-		st := s.session(r.id, now)
-		if st == nil {
-			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
-		}
-		// A seek breaks the temporal overlap the cache relies on: a seeking
-		// follower detaches, a seeking leader strands its followers. The
-		// fan-out contract breaks the same way: a seeking member falls back
-		// to disk, a seeking feed breaks up its group.
-		if st.pc != nil && st.pc.leader == st {
-			s.cacheDetachAll(st.pc, "leader seeked")
-		} else if st.cached {
-			s.cacheFallback(st, "seek")
-		}
-		if st.mg != nil && st.mg.feed == st {
-			s.mcastBreakup(st.mg, now, "feed seeked")
-		} else if st.mcastMember {
-			s.mcastFallback(st, now, "seek")
-		}
-		st.clock.Seek(now, r.logical)
-		st.seekTo(r.logical)
-		return opResp{}
+		return s.handleSeek(r, now)
 	case setRateReq:
-		st := s.session(r.id, now)
-		if st == nil {
-			return opResp{err: fmt.Errorf("cras: no such stream %d", r.id)}
-		}
-		// A rate change desynchronizes the clocks the cache pairs rely on:
-		// a leader strands its followers, a follower can no longer trail.
-		// Multicast groups desynchronize the same way.
-		if st.pc != nil && st.pc.leader == st {
-			s.cacheDetachAll(st.pc, "leader rate change")
-		} else if st.cached {
-			s.cacheFallback(st, "rate change")
-		}
-		if st.mg != nil && st.mg.feed == st {
-			s.mcastBreakup(st.mg, now, "feed rate change")
-		} else if st.mcastMember {
-			s.mcastFallback(st, now, "rate change")
-		}
-		// Rate changes change R_i; re-run admission on the updated set.
-		updated := StreamParams{Rate: st.par.Rate / st.clock.Rate() * r.rate, Chunk: st.par.Chunk}
-		updated = s.volParams(updated)
-		var set []StreamParams
-		for _, other := range s.streams {
-			if other.closed || other == st {
-				continue
-			}
-			set = append(set, other.par)
-		}
-		if err := s.admit(append(set, updated)); err != nil {
-			s.stats.AdmissionRejects++
-			return opResp{err: err}
-		}
-		st.par = updated
-		st.clock.SetRate(now, r.rate)
-		// Rescale the machinery that depends on R_i. The buffer allocation
-		// only grows: shrinking it under data resident from the faster rate
-		// would overflow until the window drains, dropping chunks for no
-		// benefit. (Admission accounting uses the formula value either way.)
-		if cap := s.bufferCapacity(updated); cap > st.buf.Capacity() {
-			st.buf.SetCapacity(cap)
-		}
-		st.cycleCap = 2 * (int64(s.cfg.Interval.Seconds()*updated.Rate) + updated.Chunk)
-		leadReal := s.cfg.Interval
-		if extra := s.cfg.InitialDelay - 2*s.cfg.Interval; extra > 0 {
-			leadReal += extra
-		}
-		st.lead = sim.Time(float64(leadReal) * r.rate)
-		st.wholeExtents = int64(leadReal.Seconds()*updated.Rate) >= int64(s.cfg.MaxRead)
-		return opResp{}
+		return s.handleSetRate(r, now)
+	case pauseReq:
+		return s.handlePause(r, now)
+	case resumeReq:
+		return s.handleResume(r, now)
 	}
 	return opResp{err: fmt.Errorf("cras: unknown request %T", req)}
 }
@@ -1203,6 +1182,9 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	if r.rate == 0 {
 		r.rate = 1
 	}
+	if r.rate < 0 {
+		return openResp{err: fmt.Errorf("cras: open %s: negative rate %g (open forward, then SetRate to rewind)", r.path, r.rate)}
+	}
 	if err := r.info.Validate(); err != nil {
 		return openResp{err: err}
 	}
@@ -1213,8 +1195,17 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 		return openResp{err: fmt.Errorf("cras: open %s at %v: past the end of the media", r.path, r.at)}
 	}
 	now := s.k.Now()
+	// The requested delivered rate, quantized to the configured ladder
+	// (exact fractions pass through when no ladder is set — the cluster's
+	// degraded re-admission relies on that).
+	wantDr := 1.0
+	if r.dr > 0 && r.dr < 1 && !r.record {
+		wantDr = s.ladderSnap(r.dr)
+	}
+	dr := wantDr
+	base := r.info.WorstCaseRate(s.cfg.Interval) * r.rate
 	par := StreamParams{
-		Rate:  r.info.WorstCaseRate(s.cfg.Interval) * r.rate,
+		Rate:  base * dr,
 		Chunk: maxChunkSize(r.info),
 	}
 	par = s.volParams(par)
@@ -1287,6 +1278,17 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 			if ae, ok := err.(*AdmissionError); ok && ae.NeedBuffer > ae.Budget && s.cacheEvictLargest(now) {
 				continue
 			}
+			// Reduced-rate warm-up (vcr.go): walk the frame-rate ladder
+			// down before giving up — a viewer at fewer frames now, stepped
+			// back to full rate by the promotion pass when capacity frees,
+			// beats a refused open.
+			if len(s.cfg.RateLadder) > 0 && !r.record {
+				if next, ok := s.ladderBelow(dr); ok {
+					dr = next
+					par = s.volParams(StreamParams{Rate: base * dr, Chunk: par.Chunk})
+					continue
+				}
+			}
 			s.stats.AdmissionRejects++
 			return openResp{err: err}
 		}
@@ -1316,14 +1318,20 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 	}
 
 	st := &stream{
-		id:     s.nextID,
-		name:   r.path,
-		info:   r.info,
-		par:    par,
-		ext:    ext,
-		record: r.record,
-		clock:  NewLogicalClock(),
-		buf:    NewTDBuffer(s.bufferCapacity(par), s.cfg.Jitter),
+		id:       s.nextID,
+		name:     r.path,
+		info:     r.info,
+		par:      par,
+		ext:      ext,
+		record:   r.record,
+		dr:       dr,
+		baseRate: r.info.WorstCaseRate(s.cfg.Interval),
+		clock:    NewLogicalClock(),
+		buf:      NewTDBuffer(s.bufferCapacity(par), s.cfg.Jitter),
+	}
+	st.stepCycle = s.cycle
+	if dr < wantDr {
+		s.stats.OpensReduced++
 	}
 	if !r.record {
 		// One interval of safety lead keeps the worst-case stamping margin
@@ -1335,7 +1343,7 @@ func (s *Server) handleOpen(t *rtm.Thread, r openReq) openResp {
 			leadReal += extra
 		}
 		st.lead = sim.Time(float64(leadReal) * r.rate)
-		st.wholeExtents = int64(leadReal.Seconds()*par.Rate) >= int64(s.cfg.MaxRead)
+		st.wholeExtents = dr >= 1 && int64(leadReal.Seconds()*par.Rate) >= int64(s.cfg.MaxRead)
 	}
 	// Spread any prefill over the startup window: at most twice the
 	// steady-state amount per interval.

@@ -22,6 +22,7 @@ type StreamStats struct {
 	ChunksFromCache  int64 // chunks stamped from the interval cache, not disk
 	ChunksFromGroup  int64 // chunks fanned out from a multicast feed, not disk
 	ChunksFromPrefix int64 // chunks backfilled from the pinned prefix at join
+	ChunksSkipped    int64 // chunks never fetched because DeliveredRate < 1
 }
 
 // stream is the server-side state of one open continuous media session.
@@ -98,6 +99,24 @@ type stream struct {
 	ppin        *prefixPin
 	openedAt    sim.Time
 
+	// VCR state (see vcr.go). paused freezes the clock and the fetch
+	// machinery while the buffers stay pinned; dr is the delivered rate —
+	// the fraction of chunks the clock passes that are actually fetched and
+	// stamped (1 = every chunk, the adaptive frame-rate ladder steps it
+	// down instead of suspending); baseRate is the unscaled worst-case media
+	// rate at open time, the honest basis for every re-admission charge;
+	// stepCycle is the scheduler cycle of the last ladder move (promotion
+	// pacing); skipped is the FIFO of chunk indices the skip-mode fetch
+	// decided not to read, consumed in order by the stamping side so a
+	// ladder move between fetch and stamp can never desynchronize them;
+	// rev is non-nil while the stream delivers in reverse (rewind).
+	paused    bool
+	dr        float64
+	baseRate  float64
+	stepCycle int
+	skipped   []int
+	rev       *revState
+
 	// Degradation-ladder state, advanced once per cycle by the recovery
 	// engine (see recovery.go for the ladder semantics).
 	health       StreamHealth
@@ -147,7 +166,8 @@ type readTag struct {
 	failed    bool  // read failed even after the retry budget
 	err       error // first fragment failure
 	frags     []*readFrag
-	fragsLeft int // fragments not yet finally absorbed
+	fragsLeft int      // fragments not yet finally absorbed
+	rev       *revRead // reverse-delivery chunk this read belongs to (nil forward)
 }
 
 // readFrag is one member disk's share of a logical read: the unit the
@@ -178,6 +198,7 @@ func (s *stream) seekTo(logical sim.Time) {
 	s.gen++
 	s.pending = s.pending[:0]
 	s.failedRanges = nil
+	s.skipped = s.skipped[:0]
 	s.buf.Reset()
 	idx := s.info.ChunkAt(logical)
 	if idx < 0 {
@@ -278,6 +299,129 @@ func (s *stream) fetchTargets(horizon sim.Time) []*readTag {
 
 func alignUp(v, to int64) int64 { return (v + to - 1) / to * to }
 
+// retainChunk reports whether chunk idx survives skip-mode delivery at
+// fraction f of the full frame rate, with skips clustered into groups of g
+// chunks. The cumulative count floor(i*f) keeps exactly a fraction f of
+// all chunks retained, the first chunk always survives (a viewer sees the
+// scene cut immediately), and the decision depends only on (idx, f, g) so
+// the fetch and stamp sides can never disagree about the same chunk. g==1
+// is the evenly spread subsequence floor(i*f) != floor((i-1)*f); larger g
+// retains the head of each group and drops the tail, trading delivery
+// smoothness for skip holes wide enough to free whole filesystem blocks
+// (see stream.skipGroup).
+func retainChunk(idx int, f float64, g int) bool {
+	if idx <= 0 || f >= 1 {
+		return true
+	}
+	if g <= 1 {
+		return int64(float64(idx)*f) != int64(float64(idx-1)*f)
+	}
+	base := idx - idx%g
+	keep := int64(float64(base+g)*f) - int64(float64(base)*f)
+	return int64(idx-base) < keep
+}
+
+// skipGroup is the retention group size for skip-mode delivery. With
+// chunks smaller than a filesystem block, an evenly spread skip pattern
+// saves no disk time — every block still holds a retained byte, so the
+// block-aligned reads cover the whole file anyway. Clustering the skips
+// into per-group runs whose hole spans several blocks makes the reduced
+// delivered rate a real reduction in disk load, which is what the ladder's
+// admission charge promises.
+func (s *stream) skipGroup() int {
+	if s.dr >= 1 {
+		return 1
+	}
+	hole := (1 - s.dr) * float64(s.par.Chunk)
+	if hole <= 0 {
+		return 1
+	}
+	g := int(float64(4*ufs.BlockSize)/hole) + 1
+	if g > 64 {
+		g = 64
+	}
+	return g
+}
+
+// jumpTo advances the byte-fetch machinery past a skip hole to the given
+// file offset without scheduling any reads, leaving fetchedUpTo on the
+// block boundary the next read starts at.
+func (s *stream) jumpTo(off int64) {
+	if off <= s.fetchedUpTo {
+		return
+	}
+	s.fetchedUpTo = off
+	if off > s.targetByte {
+		s.targetByte = off
+	}
+	for s.extIdx < len(s.ext.Extents)-1 && s.ext.Extents[s.extIdx+1].FileOff <= off {
+		s.extIdx++
+	}
+}
+
+// fetchTargetsSkip is the skip-mode counterpart of fetchTargets, used while
+// the delivered rate is below 1: it walks chunks individually, reads only
+// the retained ones (block-aligned, sliced per extent), jumps the fetch
+// point over the holes, and records every skipped index in the FIFO the
+// stamping side consumes. Whole-extent reads are pointless here — the holes
+// are what saves the disk time — so reads cover exactly the retained blocks.
+func (s *stream) fetchTargetsSkip(horizon sim.Time) []*readTag {
+	f := s.dr
+	g := s.skipGroup()
+	chunks := s.info.Chunks
+	fileEnd := alignUp(s.ext.Size, ufs.BlockSize)
+	var tags []*readTag
+	var cycleBytes int64
+	for s.nextChunk < len(chunks) && chunks[s.nextChunk].Timestamp < horizon {
+		if s.cycleCap > 0 && cycleBytes >= s.cycleCap {
+			break
+		}
+		idx := s.nextChunk
+		c := chunks[idx]
+		if !retainChunk(idx, f, g) {
+			s.skipped = append(s.skipped, idx) //crasvet:allow hotalloc -- append into s.skipped[:0]; capacity retained across cycles
+			s.nextChunk++
+			continue
+		}
+		lo := c.Offset / ufs.BlockSize * ufs.BlockSize
+		if lo < s.fetchedUpTo {
+			lo = s.fetchedUpTo // shared block already covered by the previous read
+		}
+		hi := alignUp(c.Offset+c.Size, ufs.BlockSize)
+		if hi > fileEnd {
+			hi = fileEnd
+		}
+		s.jumpTo(lo)
+		for s.fetchedUpTo < hi && s.extIdx < len(s.ext.Extents) {
+			e := s.ext.Extents[s.extIdx]
+			tlo := s.fetchedUpTo
+			thi := e.FileOff + e.Bytes()
+			if thi > hi {
+				thi = hi
+			}
+			tags = append(tags, &readTag{ //crasvet:allow hotalloc -- one tag per issued read, alive across the disk round-trip; list handed to the batch scratch
+				s: s, gen: s.gen,
+				lo: tlo, hi: thi,
+				lba:     e.LBA + (tlo-e.FileOff)/512,
+				sectors: int((thi - tlo) / 512),
+			})
+			s.fetchedUpTo = thi
+			if thi == e.FileOff+e.Bytes() {
+				s.extIdx++
+			}
+			cycleBytes += thi - tlo
+			s.stats.BytesScheduled += thi - tlo
+			s.stats.ReadsIssued++
+		}
+		if hi > s.targetByte {
+			s.targetByte = hi
+		}
+		s.nextChunk++
+	}
+	s.pending = append(s.pending, tags...) //crasvet:allow hotalloc -- pending completion list; capacity retained across cycles
+	return tags
+}
+
 // absorbCompletions advances the contiguous completion watermark and stamps
 // every fully arrived chunk into the time-driven buffer. now is the real
 // time of the stamping cycle. floor is the logical clock the late-skip
@@ -310,6 +454,24 @@ func (s *stream) absorbCompletions(now, floor sim.Time) {
 	}
 	tdiscard := floor - s.buf.Jitter()
 	for s.nextStamp < s.nextChunk && s.nextStamp < len(chunks) {
+		// Skip-mode holes come first: a chunk the fetch side decided not to
+		// read is popped before the watermark check, because no read will
+		// ever cover its bytes. A zero-byte alias holds the previous frame
+		// across the hole, so Get stays continuous at reduced delivered
+		// rate — the viewer sees a repeated frame, not a dropout.
+		if len(s.skipped) > 0 && s.skipped[0] == s.nextStamp {
+			s.skipped = s.skipped[1:]
+			c := chunks[s.nextStamp]
+			if c.Timestamp+c.Duration > tdiscard {
+				s.buf.Insert(BufferedChunk{
+					Index: s.nextStamp, Timestamp: c.Timestamp, Duration: c.Duration,
+					Size: 0, StampedAt: now,
+				})
+			}
+			s.stats.ChunksSkipped++
+			s.nextStamp++
+			continue
+		}
 		c := chunks[s.nextStamp]
 		if c.Offset+c.Size > watermark {
 			break

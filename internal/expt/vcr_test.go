@@ -1,0 +1,33 @@
+package expt
+
+import "testing"
+
+// TestVCRSweepLadderAdmitsMore pins the headline BENCH_vcr.json claim: with
+// the same RAM and the identical interactive script, reduced-rate warm-up
+// admits strictly more viewers than suspend-on-refusal, and the extra
+// admits really are warm-up admits (opened below full delivered rate).
+func TestVCRSweepLadderAdmitsMore(t *testing.T) {
+	res := RunVCRSweep(VCRSweepConfig{Seed: 7})
+	sus, lad := res.Point("suspend"), res.Point("ladder")
+	if sus == nil || lad == nil {
+		t.Fatalf("missing sweep points: %+v", res.Points)
+	}
+	if lad.Admitted <= sus.Admitted {
+		t.Fatalf("ladder admitted %d viewers, suspend %d; want strictly more",
+			lad.Admitted, sus.Admitted)
+	}
+	if lad.ReducedOpens == 0 {
+		t.Fatalf("ladder admitted %d extra viewers but recorded no reduced-rate opens",
+			lad.Admitted-sus.Admitted)
+	}
+	if sus.ReducedOpens != 0 {
+		t.Fatalf("suspend mode has no ladder, yet recorded %d reduced opens", sus.ReducedOpens)
+	}
+	if sus.Admitted+sus.Rejected != res.Clients || lad.Admitted+lad.Rejected != res.Clients {
+		t.Fatalf("viewer conservation broken: suspend %d+%d, ladder %d+%d, clients %d",
+			sus.Admitted, sus.Rejected, lad.Admitted, lad.Rejected, res.Clients)
+	}
+	if lad.Ops == 0 || lad.Pauses == 0 || lad.Seeks == 0 || lad.RateChanges == 0 {
+		t.Fatalf("interactive script did not exercise the VCR surface: %+v", lad)
+	}
+}

@@ -6,14 +6,15 @@
 set -e
 cd "$(dirname "$0")/.."
 # -json snapshots the rotating-parity capacity sweep, -mcastjson the
-# multicast batching sweep and -clusterjson the sharded-cluster scaling
-# sweep (all part of -all) into BENCH_parity.json, BENCH_multicast.json and
-# BENCH_cluster.json: pure simulation, deterministic at the fixed seed, so
-# CI diffs them alongside crasbench_output.txt.
+# multicast batching sweep, -clusterjson the sharded-cluster scaling sweep
+# and -vcrjson the VCR admission sweep (all part of -all) into
+# BENCH_parity.json, BENCH_multicast.json, BENCH_cluster.json and
+# BENCH_vcr.json: pure simulation, deterministic at the fixed seed, so CI
+# diffs them alongside crasbench_output.txt.
 go run ./cmd/crasbench -all -quick -seed 1 \
 	-json BENCH_parity.json -mcastjson BENCH_multicast.json \
-	-clusterjson BENCH_cluster.json > crasbench_output.txt
-echo "regenerated crasbench_output.txt, BENCH_parity.json, BENCH_multicast.json and BENCH_cluster.json" >&2
+	-clusterjson BENCH_cluster.json -vcrjson BENCH_vcr.json > crasbench_output.txt
+echo "regenerated crasbench_output.txt, BENCH_parity.json, BENCH_multicast.json, BENCH_cluster.json and BENCH_vcr.json" >&2
 
 # Engine-cycle cost snapshot: ns/cycle and allocs/cycle for the scheduler
 # hot path, the burn-down meter for crasvet.baseline.json. Wall times are
